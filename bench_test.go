@@ -1,0 +1,233 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kepler"
+	"repro/internal/sim"
+	"repro/internal/suites"
+)
+
+// The benchmarks below regenerate the paper's tables and figures, one per
+// artifact. They share a cached runner, so the first iteration of each
+// benchmark pays for the simulations and subsequent iterations measure the
+// (cached) experiment assembly; b.N therefore converges quickly while the
+// reported wall time of the first run reflects the real cost of the
+// experiment.
+var (
+	benchOnce   sync.Once
+	benchRunner *core.Runner
+	benchProgs  []core.Program
+)
+
+func benchSetup() {
+	benchOnce.Do(func() {
+		benchRunner = core.NewRunner()
+		benchProgs = suites.All()
+		// Pre-warm the shared measurement cache so that each benchmark's
+		// first iteration reflects experiment assembly rather than
+		// serialized simulation: default inputs across the configurations,
+		// alternate inputs at the default clocks (all Figure 5 needs).
+		if err := benchRunner.MeasureAll(benchProgs, kepler.Configs, false); err != nil {
+			panic(err)
+		}
+		if err := benchRunner.MeasureAll(benchProgs, []kepler.Clocks{kepler.Default}, true); err != nil {
+			panic(err)
+		}
+		var extra []core.Program
+		extra = append(extra, suites.Variants()...)
+		if err := benchRunner.MeasureAll(extra, kepler.Configs, false); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// BenchmarkTable1Inventory regenerates the program inventory (Table 1).
+func BenchmarkTable1Inventory(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows := core.Table1(benchProgs)
+		if len(rows) != 34 {
+			b.Fatalf("inventory has %d programs, want 34", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2Variability regenerates the measurement-variability table
+// (Table 2): every program measured three times at the default clocks.
+func BenchmarkTable2Variability(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table2(benchRunner, benchProgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no variability rows")
+		}
+	}
+}
+
+// BenchmarkFigure1Profile regenerates the sample power profile (Figure 1).
+func BenchmarkFigure1Profile(b *testing.B) {
+	benchSetup()
+	p, err := suites.ByName("LBM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		samples, m, err := core.Profile(p, "3000", kepler.Default, uint64(i)+7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(samples) == 0 || m.ActiveTime <= 0 {
+			b.Fatal("empty profile")
+		}
+	}
+}
+
+// BenchmarkFigure2Freq614 regenerates the default-to-614 ratio figure.
+func BenchmarkFigure2Freq614(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.FigureRatios(benchRunner, benchProgs, kepler.Default, kepler.F614)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("figure 2 has %d suites, want 5", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure3Freq324 regenerates the 614-to-324 ratio figure (programs
+// without enough samples at 324 are excluded, as in the paper).
+func BenchmarkFigure3Freq324(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.FigureRatios(benchRunner, benchProgs, kepler.F614, kepler.F324)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no suites measurable at 324")
+		}
+	}
+}
+
+// BenchmarkFigure4ECC regenerates the ECC ratio figure.
+func BenchmarkFigure4ECC(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.FigureRatios(benchRunner, benchProgs, kepler.Default, kepler.ECCDefault)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("figure 4 has %d suites, want 5", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Variants regenerates the implementation-variant table
+// (L-BFS atomic/wla and SSSP wlc/wln vs their defaults, all four configs).
+func BenchmarkTable3Variants(b *testing.B) {
+	benchSetup()
+	lbfs, err := suites.ByName("L-BFS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sssp, err := suites.ByName("SSSP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := core.Table3(benchRunner, lbfs, suites.LBFSVariants(), "usa")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows2, _, err := core.Table3(benchRunner, sssp, suites.SSSPVariants(), "usa")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows)+len(rows2) == 0 {
+			b.Fatal("no variant rows")
+		}
+	}
+}
+
+// BenchmarkTable4BFSCross regenerates the cross-suite BFS comparison.
+func BenchmarkTable4BFSCross(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table4(benchRunner, suites.BFSCross())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("table 4 has %d rows, want 4", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure5Inputs regenerates the input-scaling power figure.
+func BenchmarkFigure5Inputs(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Figure5(benchRunner, benchProgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no input transitions")
+		}
+	}
+}
+
+// BenchmarkFigure6PowerRange regenerates the absolute power-range figure.
+func BenchmarkFigure6PowerRange(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Figure6(benchRunner, benchProgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no power ranges")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw engine: how fast the
+// simulator executes and merges a mid-sized compute kernel (not a paper
+// artifact; an ablation of the substrate itself).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dev := sim.NewDevice(kepler.Default)
+		data := dev.NewArray(1<<16, 4)
+		dev.Launch("bench", 256, 256, func(c *sim.Ctx) {
+			c.Load(data.At(c.TID()), 4)
+			c.FP32Ops(64)
+			c.IntOps(16)
+			c.Store(data.At(c.TID()), 4)
+		})
+	}
+	b.ReportMetric(float64(256*256), "threads/op")
+}
+
+// BenchmarkMeasurementStack measures one full measurement pass (device,
+// power model, sensor, analysis) for a single mid-sized program.
+func BenchmarkMeasurementStack(b *testing.B) {
+	p, err := suites.ByName("SC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner() // fresh runner: no caching, measure the stack
+		if _, err := r.Measure(p, p.DefaultInput(), kepler.Default); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

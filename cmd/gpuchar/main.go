@@ -1,0 +1,235 @@
+// Command gpuchar reproduces the paper's experiments: it measures the 34
+// benchmark programs on the simulated K20c through the full measurement
+// stack and prints the requested tables and figures.
+//
+// Usage:
+//
+//	gpuchar -exp all
+//	gpuchar -exp table1,table2,fig2,fig3,fig4,table3,table4,fig5,fig6
+//	gpuchar -exp fig2 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kepler"
+	"repro/internal/report"
+	"repro/internal/suites"
+)
+
+// mustBy resolves a program name or exits.
+func mustBy(name string, fail func(error)) core.Program {
+	p, err := suites.ByName(name)
+	if err != nil {
+		fail(err)
+	}
+	return p
+}
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'")
+		reps    = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
+		store   = flag.String("store", "", "measurement cache file: loaded if present, saved on exit")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "table3", "table4", "fig5", "fig6", "classify", "findings", "freqsweep", "crossgpu"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	runner := core.NewRunner()
+	runner.Repetitions = *reps
+	programs := suites.All()
+	out := os.Stdout
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "gpuchar:", err)
+		os.Exit(1)
+	}
+
+	if *store != "" {
+		if err := runner.LoadStore(*store); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "gpuchar: ignoring store %s: %v\n", *store, err)
+		}
+		defer func() {
+			if err := runner.SaveStore(*store); err != nil {
+				fmt.Fprintln(os.Stderr, "gpuchar: saving store:", err)
+			}
+		}()
+	}
+
+	// Pre-warm the measurement cache: default inputs across all four
+	// configurations, plus the alternate inputs at the default clocks
+	// (all Figure 5 needs). The experiments below then assemble their
+	// tables from cached results.
+	if len(want) > 1 || want["fig2"] || want["fig3"] || want["fig4"] || want["fig6"] {
+		if err := runner.MeasureAll(programs, kepler.Configs, false); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig5"] {
+		if err := runner.MeasureAll(programs, []kepler.Clocks{kepler.Default}, true); err != nil {
+			fail(err)
+		}
+	}
+	if want["table3"] {
+		if err := runner.MeasureAll(append(suites.Variants(),
+			mustBy("L-BFS", fail), mustBy("SSSP", fail)), kepler.Configs, false); err != nil {
+			fail(err)
+		}
+	}
+
+	if want["table1"] {
+		report.Table1(out, core.Table1(programs))
+		fmt.Fprintln(out)
+	}
+	if want["table2"] {
+		rows, err := core.Table2(runner, programs)
+		if err != nil {
+			fail(err)
+		}
+		report.Table2(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want["fig1"] {
+		p, err := suites.ByName("LBM")
+		if err != nil {
+			fail(err)
+		}
+		samples, m, err := core.Profile(p, "3000", kepler.Default, 7)
+		if err != nil {
+			fail(fmt.Errorf("fig1 profile: %w", err))
+		}
+		report.Figure1(out, samples, m)
+		fmt.Fprintln(out)
+	}
+	if want["fig2"] {
+		rows, err := core.FigureRatios(runner, programs, kepler.Default, kepler.F614)
+		if err != nil {
+			fail(err)
+		}
+		report.FigureRatios(out, "Figure 2: 614 configuration relative to default", rows)
+		report.BoxPlot(out, "Figure 2 as box plots", rows)
+		fmt.Fprintln(out)
+	}
+	if want["fig3"] {
+		rows, err := core.FigureRatios(runner, programs, kepler.F614, kepler.F324)
+		if err != nil {
+			fail(err)
+		}
+		report.FigureRatios(out, "Figure 3: 324 configuration relative to 614", rows)
+		report.BoxPlot(out, "Figure 3 as box plots", rows)
+		fmt.Fprintln(out)
+	}
+	if want["fig4"] {
+		rows, err := core.FigureRatios(runner, programs, kepler.Default, kepler.ECCDefault)
+		if err != nil {
+			fail(err)
+		}
+		report.FigureRatios(out, "Figure 4: ECC relative to default", rows)
+		report.BoxPlot(out, "Figure 4 as box plots", rows)
+		fmt.Fprintln(out)
+	}
+	if want["table3"] {
+		lbfs, err := suites.ByName("L-BFS")
+		if err != nil {
+			fail(err)
+		}
+		rows, excluded, err := core.Table3(runner, lbfs, suites.LBFSVariants(), "usa")
+		if err != nil {
+			fail(err)
+		}
+		sssp, err := suites.ByName("SSSP")
+		if err != nil {
+			fail(err)
+		}
+		rows2, excl2, err := core.Table3(runner, sssp, suites.SSSPVariants(), "usa")
+		if err != nil {
+			fail(err)
+		}
+		report.Table3(out, append(rows, rows2...), append(excluded, excl2...))
+		fmt.Fprintln(out)
+	}
+	if want["table4"] {
+		rows, err := core.Table4(runner, suites.BFSCross())
+		if err != nil {
+			fail(err)
+		}
+		report.Table4(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want["fig5"] {
+		rows, err := core.Figure5(runner, programs)
+		if err != nil {
+			fail(err)
+		}
+		report.Figure5(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want["fig6"] {
+		rows, err := core.Figure6(runner, programs)
+		if err != nil {
+			fail(err)
+		}
+		report.Figure6(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want["classify"] {
+		classes, err := core.Classify(runner, programs)
+		if err != nil {
+			fail(err)
+		}
+		report.Classification(out, classes, core.RecommendSubset(classes))
+		fmt.Fprintln(out)
+	}
+	if want["findings"] {
+		findings, err := core.VerifyFindings(runner, programs, suites.LBFSVariants(), suites.SSSPVariants())
+		if err != nil {
+			fail(err)
+		}
+		report.Findings(out, findings)
+		fmt.Fprintln(out)
+	}
+	if want["freqsweep"] {
+		for _, name := range []string{"NB", "STEN", "MST"} {
+			p, err := suites.ByName(name)
+			if err != nil {
+				fail(err)
+			}
+			points, err := core.FreqSweep(runner, p)
+			if err != nil {
+				fail(err)
+			}
+			report.FreqSweep(out, p.Name(), points)
+		}
+		fmt.Fprintln(out)
+	}
+	if want["crossgpu"] {
+		var picks []core.Program
+		for _, name := range []string{"NB", "STEN", "MST"} {
+			p, err := suites.ByName(name)
+			if err != nil {
+				fail(err)
+			}
+			picks = append(picks, p)
+		}
+		rows, err := core.CrossGPU(runner, picks)
+		if err != nil {
+			fail(err)
+		}
+		report.CrossGPU(out, rows)
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,80 @@
+// DVFS sweep: measure a compute-bound, a memory-bound and an irregular
+// program at every clock configuration and print how runtime, energy and
+// power respond — the paper's Figures 2 and 3 in miniature.
+//
+//	go run ./examples/dvfs_sweep
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/k20power"
+	"repro/internal/kepler"
+	"repro/internal/report"
+	"repro/internal/suites"
+)
+
+func main() {
+	runner := core.NewRunner()
+
+	// One program per behaviour class.
+	picks := []struct {
+		name string
+		why  string
+	}{
+		{"NB", "regular, compute bound (CUDA SDK)"},
+		{"LBM", "regular, memory bound (Parboil)"},
+		{"MST", "irregular (LonestarGPU)"},
+	}
+
+	for _, pick := range picks {
+		p, err := suites.ByName(pick.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %s\n", p.Name(), pick.why)
+		var base *core.Result
+		for _, clk := range kepler.Configs {
+			res, err := runner.Measure(p, p.DefaultInput(), clk)
+			if err != nil {
+				if errors.Is(err, k20power.ErrInsufficientSamples) || errors.Is(err, k20power.ErrNoActivity) {
+					fmt.Printf("  %-8s not measurable (too few power samples — the paper excludes such runs)\n", clk.Name)
+					continue
+				}
+				log.Fatal(err)
+			}
+			if base == nil {
+				base = res
+			}
+			fmt.Printf("  %-8s time %8.2f s (x%.2f)   energy %9.1f J (x%.2f)   power %6.1f W (x%.2f)\n",
+				clk.Name,
+				res.ActiveTime, res.ActiveTime/base.ActiveTime,
+				res.Energy, res.Energy/base.Energy,
+				res.AvgPower, res.AvgPower/base.AvgPower)
+		}
+		fmt.Println()
+	}
+
+	// Full six-setting DVFS ladder for the compute-bound pick (the K20c
+	// supports six application clock settings; the paper evaluated three).
+	nb, err := suites.ByName("NB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := core.FreqSweep(runner, nb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.FreqSweep(os.Stdout, nb.Name(), points)
+	fmt.Println()
+
+	fmt.Println("Expected shape (paper sections V.A.1-2): the compute-bound code")
+	fmt.Println("slows ~15% at 614 MHz while its power drops >15%; the memory-bound")
+	fmt.Println("code ignores the core clock but collapses ~8x at the 324 MHz memory")
+	fmt.Println("clock; the irregular code's runtime responds disproportionately to")
+	fmt.Println("small frequency changes.")
+}

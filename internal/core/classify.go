@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/kepler"
+)
+
+// Class is a program's measured behavioural classification, the basis of
+// the paper's section VI recommendations for selecting benchmark subsets.
+type Class struct {
+	Program string
+	Suite   Suite
+
+	// CoreSensitivity is the runtime increase at the 614 configuration
+	// relative to the ~13% core-clock reduction (1 = scales fully with the
+	// core clock, 0 = insensitive). Values outside [0,1] happen on
+	// irregular codes whose timing-dependent behaviour over- or
+	// under-shoots.
+	CoreSensitivity float64
+	// MemSensitivity is the extra slowdown at 324 beyond the core share
+	// (driven by the 8x memory-clock drop), normalized so that ~1 means
+	// fully memory bound.
+	MemSensitivity float64
+	// ECCSlowdown is tECC/tdefault - 1.
+	ECCSlowdown float64
+	// AvgPowerW is the absolute default-configuration power.
+	AvgPowerW float64
+	// Irregular is the program's declared control-flow character.
+	Irregular bool
+	// Kind is the derived label: "compute-bound", "memory-bound" or
+	// "balanced".
+	Kind string
+	// Measurable324 reports whether the program yields enough power samples
+	// at the 324 MHz configuration.
+	Measurable324 bool
+}
+
+// Classify measures each program at the four configurations and derives its
+// behavioural class. Programs that cannot be measured at the default
+// configuration are skipped.
+func Classify(r *Runner, programs []Program) ([]Class, error) {
+	var out []Class
+	for _, p := range programs {
+		def, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+		if err != nil {
+			if IsInsufficient(err) {
+				continue
+			}
+			return nil, err
+		}
+		c := Class{
+			Program:   p.Name(),
+			Suite:     p.Suite(),
+			AvgPowerW: def.AvgPower,
+			Irregular: p.Irregular(),
+		}
+		freqDrop := float64(kepler.Default.CoreMHz)/float64(kepler.F614.CoreMHz) - 1 // ~0.148
+		if f614, err := r.Measure(p, p.DefaultInput(), kepler.F614); err == nil {
+			c.CoreSensitivity = (f614.ActiveTime/def.ActiveTime - 1) / freqDrop
+		} else if !IsInsufficient(err) {
+			return nil, err
+		}
+		if f324, err := r.Measure(p, p.DefaultInput(), kepler.F324); err == nil {
+			c.Measurable324 = true
+			// Total 324 slowdown, minus what the core clock alone explains.
+			coreShare := 1 + c.CoreSensitivity*(float64(kepler.Default.CoreMHz)/324-1)
+			total := f324.ActiveTime / def.ActiveTime
+			c.MemSensitivity = (total - coreShare) / (float64(kepler.Default.MemMHz)/324 - 1) * 2
+		} else if !IsInsufficient(err) {
+			return nil, err
+		}
+		if ecc, err := r.Measure(p, p.DefaultInput(), kepler.ECCDefault); err == nil {
+			c.ECCSlowdown = ecc.ActiveTime/def.ActiveTime - 1
+		} else if !IsInsufficient(err) {
+			return nil, err
+		}
+
+		// Label: the 614 response separates compute- from memory-bound
+		// (paper V.A.1); ECC sensitivity corroborates.
+		switch {
+		case c.CoreSensitivity >= 0.6 && c.ECCSlowdown < 0.05:
+			c.Kind = "compute-bound"
+		case c.CoreSensitivity < 0.35 || c.ECCSlowdown >= 0.08:
+			c.Kind = "memory-bound"
+		default:
+			c.Kind = "balanced"
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Program < out[j].Program
+	})
+	return out, nil
+}
+
+// Recommendation is a suggested benchmark subset per the paper's section VI
+// guidelines, with the reason each program was picked.
+type Recommendation struct {
+	Program string
+	Suite   Suite
+	Reason  string
+}
+
+// RecommendSubset applies the paper's guidelines to the classification:
+// measure a broad spectrum (compute- and memory-bound, regular and
+// irregular), prefer non-topology-driven irregular codes, draw from
+// multiple suites, and prefer programs measurable at every configuration.
+func RecommendSubset(classes []Class) []Recommendation {
+	// The topology-driven graph codes the paper advises against.
+	topologyDriven := map[string]bool{"L-BFS": true, "SSSP": true, "NSP": true}
+
+	pick := func(want func(Class) bool, reason string, taken map[string]bool) *Recommendation {
+		var best *Class
+		for i := range classes {
+			c := &classes[i]
+			if taken[c.Program] || !want(*c) {
+				continue
+			}
+			// Prefer programs measurable everywhere, then higher power
+			// (clearer sensor signal).
+			if best == nil ||
+				(c.Measurable324 && !best.Measurable324) ||
+				(c.Measurable324 == best.Measurable324 && c.AvgPowerW > best.AvgPowerW) {
+				best = c
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		taken[best.Program] = true
+		return &Recommendation{Program: best.Program, Suite: best.Suite, Reason: reason}
+	}
+
+	taken := map[string]bool{}
+	var recs []Recommendation
+	wants := []struct {
+		f      func(Class) bool
+		reason string
+	}{
+		{func(c Class) bool { return c.Kind == "compute-bound" && !c.Irregular },
+			"regular compute-bound (core-clock sensitive, ECC immune)"},
+		{func(c Class) bool { return c.Kind == "memory-bound" && !c.Irregular },
+			"regular memory-bound (memory-clock and ECC sensitive)"},
+		{func(c Class) bool { return c.Irregular && !topologyDriven[c.Program] },
+			"irregular, not topology-driven (timing-dependent behaviour)"},
+		{func(c Class) bool { return c.Kind == "balanced" },
+			"balanced compute/memory mix"},
+		{func(c Class) bool { return c.Irregular && !topologyDriven[c.Program] },
+			"second irregular code from a different suite"},
+	}
+	for _, w := range wants {
+		if rec := pick(w.f, w.reason, taken); rec != nil {
+			recs = append(recs, *rec)
+		}
+	}
+	return recs
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/k20power"
+	"repro/internal/kepler"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table1Row is one program's inventory entry (paper Table 1).
+type Table1Row struct {
+	Name    string
+	Suite   Suite
+	Kernels int
+	Inputs  []string
+}
+
+// Table1 builds the program inventory.
+func Table1(programs []Program) []Table1Row {
+	rows := make([]Table1Row, 0, len(programs))
+	for _, p := range programs {
+		rows = append(rows, Table1Row{Name: p.Name(), Suite: p.Suite(), Kernels: p.KernelCount(), Inputs: p.Inputs()})
+	}
+	return rows
+}
+
+// Table2Row is one suite's measurement variability (paper Table 2): the
+// maximum and average (max-min)/min spread across the three repetitions.
+type Table2Row struct {
+	Suite                                  Suite
+	MaxTime, MaxEnergy, AvgTime, AvgEnergy float64
+	Programs                               int
+}
+
+// Table2 measures every program at the default configuration and aggregates
+// the repetition spreads per suite, plus an overall row (Suite "Overall").
+func Table2(r *Runner, programs []Program) ([]Table2Row, error) {
+	perSuite := map[Suite][]*Result{}
+	for _, p := range programs {
+		res, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+		if err != nil {
+			if IsInsufficient(err) {
+				continue
+			}
+			return nil, err
+		}
+		perSuite[p.Suite()] = append(perSuite[p.Suite()], res)
+	}
+	var rows []Table2Row
+	var allT, allE []float64
+	for _, s := range Suites {
+		rs := perSuite[s]
+		if len(rs) == 0 {
+			continue
+		}
+		var ts, es []float64
+		for _, res := range rs {
+			ts = append(ts, res.TimeSpread())
+			es = append(es, res.EnergySpread())
+		}
+		allT = append(allT, ts...)
+		allE = append(allE, es...)
+		rows = append(rows, Table2Row{
+			Suite:     s,
+			MaxTime:   stats.Quantile(ts, 1),
+			MaxEnergy: stats.Quantile(es, 1),
+			AvgTime:   stats.Mean(ts),
+			AvgEnergy: stats.Mean(es),
+			Programs:  len(rs),
+		})
+	}
+	rows = append(rows, Table2Row{
+		Suite:     "Overall",
+		MaxTime:   stats.Quantile(allT, 1),
+		MaxEnergy: stats.Quantile(allE, 1),
+		AvgTime:   stats.Mean(allT),
+		AvgEnergy: stats.Mean(allE),
+		Programs:  len(allT),
+	})
+	return rows, nil
+}
+
+// RatioEntry is one program's metric ratios between two configurations.
+type RatioEntry struct {
+	Program             string
+	Suite               Suite
+	Time, Energy, Power float64
+}
+
+// FigRatioRow is one suite's box summary of configuration ratios (the
+// paper's Figures 2, 3 and 4).
+type FigRatioRow struct {
+	Suite               Suite
+	Time, Energy, Power stats.Box
+	Entries             []RatioEntry
+	Excluded            []string // programs without enough samples at either config
+}
+
+// FigureRatios measures every program at two configurations and summarizes
+// the to/from ratios per suite. Programs whose run yields too few power
+// samples at either configuration are excluded (the paper's treatment of
+// the 324 MHz setting).
+func FigureRatios(r *Runner, programs []Program, from, to kepler.Clocks) ([]FigRatioRow, error) {
+	bySuite := map[Suite]*FigRatioRow{}
+	order := []Suite{}
+	get := func(s Suite) *FigRatioRow {
+		if row, ok := bySuite[s]; ok {
+			return row
+		}
+		row := &FigRatioRow{Suite: s}
+		bySuite[s] = row
+		order = append(order, s)
+		return row
+	}
+	for _, p := range programs {
+		row := get(p.Suite())
+		a, err := r.Measure(p, p.DefaultInput(), from)
+		if err != nil {
+			if IsInsufficient(err) {
+				row.Excluded = append(row.Excluded, p.Name())
+				continue
+			}
+			return nil, err
+		}
+		b, err := r.Measure(p, p.DefaultInput(), to)
+		if err != nil {
+			if IsInsufficient(err) {
+				row.Excluded = append(row.Excluded, p.Name())
+				continue
+			}
+			return nil, err
+		}
+		row.Entries = append(row.Entries, RatioEntry{
+			Program: p.Name(),
+			Suite:   p.Suite(),
+			Time:    b.ActiveTime / a.ActiveTime,
+			Energy:  b.Energy / a.Energy,
+			Power:   b.AvgPower / a.AvgPower,
+		})
+	}
+	var rows []FigRatioRow
+	for _, s := range Suites {
+		row, ok := bySuite[s]
+		if !ok || len(row.Entries) == 0 {
+			continue
+		}
+		var ts, es, ps []float64
+		for _, e := range row.Entries {
+			ts = append(ts, e.Time)
+			es = append(es, e.Energy)
+			ps = append(ps, e.Power)
+		}
+		row.Time = stats.BoxOf(ts)
+		row.Energy = stats.BoxOf(es)
+		row.Power = stats.BoxOf(ps)
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// Table3Row is one variant/config cell of the paper's Table 3: the ratios
+// of the variant's metrics to the default implementation's.
+type Table3Row struct {
+	Base, Variant, Config string
+	Time, Energy, Power   float64
+}
+
+// Table3 compares alternate implementations against their base program on
+// one input across all four configurations. Variants that cannot be
+// measured (insufficient samples) are reported with zero ratios and listed
+// in the returned exclusions, mirroring the paper's wlw/wlc BFS footnote.
+func Table3(r *Runner, base Program, variants []Program, input string) ([]Table3Row, []string, error) {
+	var rows []Table3Row
+	var excluded []string
+	for _, v := range variants {
+		for _, clk := range kepler.Configs {
+			b, err := r.Measure(base, input, clk)
+			if err != nil {
+				return nil, nil, fmt.Errorf("base %s: %w", base.Name(), err)
+			}
+			vr, err := r.Measure(v, input, clk)
+			if err != nil {
+				if IsInsufficient(err) {
+					excluded = append(excluded, v.Name()+"@"+clk.Name)
+					continue
+				}
+				return nil, nil, err
+			}
+			name := v.Name()
+			if vv, ok := v.(Variant); ok {
+				name = vv.VariantName()
+			}
+			rows = append(rows, Table3Row{
+				Base:    base.Name(),
+				Variant: name,
+				Config:  clk.Name,
+				Time:    vr.ActiveTime / b.ActiveTime,
+				Energy:  vr.Energy / b.Energy,
+				Power:   vr.AvgPower / b.AvgPower,
+			})
+		}
+	}
+	return rows, excluded, nil
+}
+
+// Table4Row is one BFS implementation's per-item costs (paper Table 4):
+// active time [s], energy [J] and power [W] per 100k processed vertices and
+// per 100k processed edges.
+type Table4Row struct {
+	Name                            string
+	TimeVert, EnergyVert, PowerVert float64
+	TimeEdge, EnergyEdge, PowerEdge float64
+	Vertices, Edges                 int64
+}
+
+// Table4 compares BFS implementations across suites at the default
+// configuration, normalizing by processed items. Programs must implement
+// ItemCounts.
+func Table4(r *Runner, bfs []Program) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, p := range bfs {
+		ic, ok := p.(ItemCounts)
+		if !ok {
+			return nil, fmt.Errorf("%s does not report item counts", p.Name())
+		}
+		res, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+		if err != nil {
+			return nil, err
+		}
+		v, e := ic.Items(p.DefaultInput())
+		if v <= 0 || e <= 0 {
+			return nil, fmt.Errorf("%s: no items", p.Name())
+		}
+		kv := float64(v) / 100e3
+		ke := float64(e) / 100e3
+		rows = append(rows, Table4Row{
+			Name:       p.Name(),
+			TimeVert:   res.ActiveTime / kv,
+			EnergyVert: res.Energy / kv,
+			PowerVert:  res.AvgPower / kv,
+			TimeEdge:   res.ActiveTime / ke,
+			EnergyEdge: res.Energy / ke,
+			PowerEdge:  res.AvgPower / ke,
+			Vertices:   v,
+			Edges:      e,
+		})
+	}
+	return rows, nil
+}
+
+// Fig5Row is one input transition's power ratio (paper Figure 5).
+type Fig5Row struct {
+	Program  string
+	Suite    Suite
+	From, To string
+	Power    float64 // power(to)/power(from)
+}
+
+// Figure5 measures every program with at least two inputs at the default
+// configuration and reports the power ratio of each input step.
+func Figure5(r *Runner, programs []Program) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, p := range programs {
+		inputs := p.Inputs()
+		if len(inputs) < 2 {
+			continue
+		}
+		for i := 1; i < len(inputs); i++ {
+			a, err := r.Measure(p, inputs[i-1], kepler.Default)
+			if err != nil {
+				if IsInsufficient(err) {
+					continue
+				}
+				return nil, err
+			}
+			b, err := r.Measure(p, inputs[i], kepler.Default)
+			if err != nil {
+				if IsInsufficient(err) {
+					continue
+				}
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{
+				Program: p.Name(),
+				Suite:   p.Suite(),
+				From:    inputs[i-1],
+				To:      inputs[i],
+				Power:   b.AvgPower / a.AvgPower,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one suite/configuration cell of the paper's Figure 6: the
+// range of absolute average power across the suite's programs.
+type Fig6Row struct {
+	Suite    Suite
+	Config   string
+	Power    stats.Box
+	Programs []string
+}
+
+// Figure6 measures every program at every configuration and reports the
+// absolute power ranges per suite.
+func Figure6(r *Runner, programs []Program) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, s := range Suites {
+		for _, clk := range kepler.Configs {
+			var ps []float64
+			var names []string
+			for _, p := range programs {
+				if p.Suite() != s {
+					continue
+				}
+				res, err := r.Measure(p, p.DefaultInput(), clk)
+				if err != nil {
+					if IsInsufficient(err) {
+						continue
+					}
+					return nil, err
+				}
+				ps = append(ps, res.AvgPower)
+				names = append(names, p.Name())
+			}
+			if len(ps) == 0 {
+				continue
+			}
+			rows = append(rows, Fig6Row{Suite: s, Config: clk.Name, Power: stats.BoxOf(ps), Programs: names})
+		}
+	}
+	return rows, nil
+}
+
+// Profile runs a program once and returns the raw sensor samples plus the
+// K20Power analysis — the paper's Figure 1 view.
+func Profile(p Program, input string, clk kepler.Clocks, seed uint64) ([]sensor.Sample, k20power.Measurement, error) {
+	dev := sim.NewDevice(clk)
+	if err := p.Run(dev, input); err != nil {
+		return nil, k20power.Measurement{}, err
+	}
+	segs := power.Timeline(dev)
+	samples := sensor.Record(segs, sensor.DefaultOptions(seed))
+	m, err := k20power.Analyze(samples, k20power.DefaultOptions())
+	return samples, m, err
+}
+
+// SortedEntries returns the entries of a ratio row ordered by program name
+// (stable output for reports).
+func (f *FigRatioRow) SortedEntries() []RatioEntry {
+	out := append([]RatioEntry(nil), f.Entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Program < out[j].Program })
+	return out
+}
+
+// CrossGPURow holds one program's 614-analogue/default ratios on one
+// Kepler-family board (the paper's section IV.B cross-check: "initial
+// experiments on K20c, K20m, K20x, and K40 GPUs ... resulted in the same
+// findings after appropriately scaling the absolute measurements").
+type CrossGPURow struct {
+	Board               string
+	Program             string
+	Time, Energy, Power float64 // ratios lowered-core/default on that board
+	DefaultPower        float64 // absolute, to show the scaling differs
+}
+
+// CrossGPU measures the given programs on every Kepler-family board at that
+// board's default clocks and its 614-analogue, reporting the ratios. The
+// findings (ratio shapes) should agree across boards even though absolute
+// power differs.
+func CrossGPU(r *Runner, programs []Program) ([]CrossGPURow, error) {
+	var rows []CrossGPURow
+	for _, m := range kepler.Models {
+		cfgs := m.Configurations()
+		def, low := cfgs[0], cfgs[1]
+		for _, p := range programs {
+			a, err := r.Measure(p, p.DefaultInput(), def)
+			if err != nil {
+				if IsInsufficient(err) {
+					continue
+				}
+				return nil, err
+			}
+			b, err := r.Measure(p, p.DefaultInput(), low)
+			if err != nil {
+				if IsInsufficient(err) {
+					continue
+				}
+				return nil, err
+			}
+			rows = append(rows, CrossGPURow{
+				Board:        m.Name,
+				Program:      p.Name(),
+				Time:         b.ActiveTime / a.ActiveTime,
+				Energy:       b.Energy / a.Energy,
+				Power:        b.AvgPower / a.AvgPower,
+				DefaultPower: a.AvgPower,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FreqPoint is one program's response at one clock setting, relative to
+// the paper's default configuration.
+type FreqPoint struct {
+	Config              string
+	CoreMHz, MemMHz     int
+	Time, Energy, Power float64 // ratios vs default
+	Measurable          bool
+}
+
+// FreqSweep measures a program across the K20c's full six-setting DVFS
+// ladder (the paper evaluated three of the six) and reports each setting's
+// runtime, energy and power relative to the default clocks. Settings whose
+// runs yield too few samples are flagged rather than dropped.
+func FreqSweep(r *Runner, p Program) ([]FreqPoint, error) {
+	base, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+	if err != nil {
+		return nil, err
+	}
+	var points []FreqPoint
+	for _, clk := range kepler.AllSettings {
+		pt := FreqPoint{Config: clk.Name, CoreMHz: clk.CoreMHz, MemMHz: clk.MemMHz}
+		res, err := r.Measure(p, p.DefaultInput(), clk)
+		switch {
+		case err == nil:
+			pt.Measurable = true
+			pt.Time = res.ActiveTime / base.ActiveTime
+			pt.Energy = res.Energy / base.Energy
+			pt.Power = res.AvgPower / base.AvgPower
+		case IsInsufficient(err):
+			// keep the point, unmeasurable
+		default:
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// MinEnergyPoint returns the measurable sweep point with the lowest energy
+// ratio (the DVFS sweet spot the paper's motivation asks about).
+func MinEnergyPoint(points []FreqPoint) (FreqPoint, bool) {
+	var best FreqPoint
+	found := false
+	for _, pt := range points {
+		if !pt.Measurable {
+			continue
+		}
+		if !found || pt.Energy < best.Energy {
+			best = pt
+			found = true
+		}
+	}
+	return best, found
+}

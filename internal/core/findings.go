@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kepler"
+	"repro/internal/stats"
+)
+
+// Finding is one of the paper's enumerated conclusions, evaluated against
+// fresh measurements.
+type Finding struct {
+	// ID names the claim by its place in the paper.
+	ID string
+	// Claim is the paper's statement.
+	Claim string
+	// Pass reports whether the reproduction supports the claim.
+	Pass bool
+	// Detail carries the measured evidence.
+	Detail string
+}
+
+// VerifyFindings re-derives the paper's section VI conclusions from
+// measurements of the given program set (plus the L-BFS/SSSP variants for
+// the implementation findings). It is the library form of the repository's
+// integration tests: every claim is checked live, nothing is hard-coded.
+func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) ([]Finding, error) {
+	var out []Finding
+	add := func(id, claim string, pass bool, detail string) {
+		out = append(out, Finding{ID: id, Claim: claim, Pass: pass, Detail: detail})
+	}
+
+	fig2, err := FigureRatios(r, programs, kepler.Default, kepler.F614)
+	if err != nil {
+		return nil, err
+	}
+	var t614, e614, p614 []float64
+	for _, row := range fig2 {
+		for _, e := range row.Entries {
+			t614 = append(t614, e.Time)
+			e614 = append(e614, e.Energy)
+			p614 = append(p614, e.Power)
+		}
+	}
+
+	// Freq-1: different frequencies move the three metrics by different
+	// amounts (the spread of time ratios differs from the spread of power
+	// ratios).
+	tSpread := stats.Quantile(t614, 1) - stats.Quantile(t614, 0)
+	pSpread := stats.Quantile(p614, 1) - stats.Quantile(p614, 0)
+	add("freq-1", "frequencies impact performance, energy and power by different amounts",
+		tSpread > 1.2*pSpread || pSpread > 1.2*tSpread,
+		fmt.Sprintf("614 time-ratio spread %.2f vs power-ratio spread %.2f", tSpread, pSpread))
+
+	// Freq-2: lowering the core clock does not make energy scale with the
+	// runtime increase.
+	add("freq-2", "at 614 MHz, energy does not rise with the runtime increase",
+		stats.Median(e614) <= 1.01,
+		fmt.Sprintf("median 614 energy ratio %.3f (median time ratio %.3f)", stats.Median(e614), stats.Median(t614)))
+
+	// Freq-3: superlinear power reductions exist (drop exceeding the ~13%
+	// frequency drop).
+	freqDrop := 1 - float64(kepler.F614.CoreMHz)/float64(kepler.Default.CoreMHz)
+	minP := stats.Quantile(p614, 0)
+	add("freq-3", "power reductions can exceed the core-frequency reduction (DVFS voltage)",
+		1-minP > freqDrop,
+		fmt.Sprintf("best 614 power drop %.1f%% vs frequency drop %.1f%%", 100*(1-minP), 100*freqDrop))
+
+	// Freq-6: lower clocks always lower power.
+	add("freq-6", "lowering the clock frequency consistently lowers power",
+		stats.Quantile(p614, 1) < 1.0,
+		fmt.Sprintf("worst 614 power ratio %.3f", stats.Quantile(p614, 1)))
+
+	fig3, err := FigureRatios(r, programs, kepler.F614, kepler.F324)
+	if err != nil {
+		return nil, err
+	}
+	var t324, e324, p324 []float64
+	for _, row := range fig3 {
+		for _, e := range row.Entries {
+			t324 = append(t324, e.Time)
+			e324 = append(e324, e.Energy)
+			p324 = append(p324, e.Power)
+		}
+	}
+	// Freq-4: the memory clock hits memory-bound codes drastically.
+	add("freq-4", "lowering the memory clock drastically slows memory-bound codes",
+		stats.Quantile(t324, 1) > 6,
+		fmt.Sprintf("worst 324/614 slowdown %.2fx", stats.Quantile(t324, 1)))
+	// Freq-5: power-ratio ranges are narrower than time/energy ranges.
+	add("freq-5", "power varies over a narrower range than energy and runtime",
+		(stats.Quantile(p324, 1)-stats.Quantile(p324, 0)) <
+			(stats.Quantile(t324, 1)-stats.Quantile(t324, 0)),
+		fmt.Sprintf("324 power range %.2f vs time range %.2f",
+			stats.Quantile(p324, 1)-stats.Quantile(p324, 0),
+			stats.Quantile(t324, 1)-stats.Quantile(t324, 0)))
+	// Energy rises for most programs at 324.
+	up := 0
+	for _, e := range e324 {
+		if e > 1 {
+			up++
+		}
+	}
+	add("freq-energy-324", "energy increases for about two-thirds of programs at 324 MHz",
+		float64(up) >= 0.5*float64(len(e324)),
+		fmt.Sprintf("%d of %d measurable programs use more energy", up, len(e324)))
+
+	fig4, err := FigureRatios(r, programs, kepler.Default, kepler.ECCDefault)
+	if err != nil {
+		return nil, err
+	}
+	// ECC-1: ECC slows only memory-bound codes; ECC-2 energy follows
+	// memory traffic. Check: the suite medians stay near 1 for the
+	// compute-heavy SDK but exceed 1.1 somewhere, and Lonestar's energy
+	// rise beats its runtime rise.
+	var sdkECCTime, lonestarTimes, lonestarEnergies []float64
+	worstECC := 0.0
+	for _, row := range fig4 {
+		for _, e := range row.Entries {
+			if e.Time > worstECC {
+				worstECC = e.Time
+			}
+		}
+		if row.Suite == SuiteSDK {
+			for _, e := range row.Entries {
+				sdkECCTime = append(sdkECCTime, e.Time)
+			}
+		}
+		if row.Suite == SuiteLonestar {
+			for _, e := range row.Entries {
+				lonestarTimes = append(lonestarTimes, e.Time)
+				lonestarEnergies = append(lonestarEnergies, e.Energy)
+			}
+		}
+	}
+	add("ecc-1", "ECC slows memory-bound codes but leaves compute-bound codes alone",
+		stats.Median(sdkECCTime) < 1.1 && worstECC > 1.2,
+		fmt.Sprintf("SDK median ECC slowdown %.3f, worst program %.2fx", stats.Median(sdkECCTime), worstECC))
+	add("ecc-2", "on LonestarGPU, ECC raises energy more than runtime",
+		stats.Median(lonestarEnergies) > stats.Median(lonestarTimes),
+		fmt.Sprintf("Lonestar median ECC energy %.3f vs time %.3f",
+			stats.Median(lonestarEnergies), stats.Median(lonestarTimes)))
+
+	// Implementation findings (Table 3).
+	var lbfsBase, ssspBase Program
+	for _, p := range programs {
+		switch p.Name() {
+		case "L-BFS":
+			lbfsBase = p
+		case "SSSP":
+			ssspBase = p
+		}
+	}
+	if lbfsBase != nil && len(lbfsVariants) > 0 {
+		rows, _, err := Table3(r, lbfsBase, lbfsVariants, lbfsBase.DefaultInput())
+		if err != nil {
+			return nil, err
+		}
+		var atomicTime, wlaPower float64 = 1, 1
+		for _, row := range rows {
+			if row.Config != "default" {
+				continue
+			}
+			switch row.Variant {
+			case "atomic":
+				atomicTime = row.Time
+			case "wla":
+				wlaPower = row.Power
+			}
+		}
+		add("impl-1", "an alternate implementation can be 2x+ faster AND cheaper in energy (BFS atomic)",
+			atomicTime < 0.5,
+			fmt.Sprintf("atomic/default time %.2f", atomicTime))
+		add("impl-2", "another implementation primarily helps power (BFS wla)",
+			wlaPower < 0.9,
+			fmt.Sprintf("wla/default power %.2f", wlaPower))
+	}
+	if ssspBase != nil && len(ssspVariants) > 0 {
+		rows, _, err := Table3(r, ssspBase, ssspVariants, ssspBase.DefaultInput())
+		if err != nil {
+			return nil, err
+		}
+		wlnTime := 1.0
+		for _, row := range rows {
+			if row.Config == "default" && row.Variant == "wln" {
+				wlnTime = row.Time
+			}
+		}
+		add("impl-3", "some implementations are strictly inferior (SSSP wln ~2x worse)",
+			wlnTime > 1.5,
+			fmt.Sprintf("wln/default time %.2f", wlnTime))
+	}
+
+	// Irregular-2 / Figure 5: power tends to rise with larger inputs on
+	// regular codes.
+	fig5, err := Figure5(r, programs)
+	if err != nil {
+		return nil, err
+	}
+	regUp, regTotal := 0, 0
+	for _, row := range fig5 {
+		isIrregular := false
+		for _, p := range programs {
+			if p.Name() == row.Program {
+				isIrregular = p.Irregular()
+			}
+		}
+		if isIrregular {
+			continue
+		}
+		regTotal++
+		if row.Power > 1 {
+			regUp++
+		}
+	}
+	add("input-1", "power tends to increase with larger inputs on regular codes",
+		regTotal > 0 && float64(regUp) >= 0.6*float64(regTotal),
+		fmt.Sprintf("%d of %d regular input steps increase power", regUp, regTotal))
+
+	// Power-efficiency (Figure 6 / section V.C): irregular Lonestar codes
+	// draw more power than the regular memory-bound codes.
+	var irregularP, regularMemP []float64
+	classes, err := Classify(r, programs)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range classes {
+		switch {
+		case c.Irregular:
+			irregularP = append(irregularP, c.AvgPowerW)
+		case c.Kind == "memory-bound":
+			regularMemP = append(regularMemP, c.AvgPowerW)
+		}
+	}
+	add("power-1", "irregular codes draw more power than regular memory-bound codes",
+		stats.Median(irregularP) > stats.Median(regularMemP),
+		fmt.Sprintf("irregular median %.1f W vs regular memory-bound median %.1f W",
+			stats.Median(irregularP), stats.Median(regularMemP)))
+
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/k20power"
+	"repro/internal/kepler"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Result is the outcome of measuring one (program, input, configuration)
+// combination: the per-repetition measurements and their per-metric medians
+// (the paper reports the median of three runs for each metric).
+type Result struct {
+	Program string
+	Input   string
+	Config  string
+
+	// Reps holds the repetitions' measurements.
+	Reps []k20power.Measurement
+	// ActiveTime, Energy and AvgPower are the per-metric medians.
+	ActiveTime, Energy, AvgPower float64
+
+	// TrueActiveTime and TrueEnergy are the simulator's ground truth, kept
+	// for validating the measurement stack (not used by the experiments).
+	TrueActiveTime, TrueEnergy float64
+}
+
+// TimeSpread, EnergySpread return the (max-min)/min variability across the
+// repetitions, the paper's Table 2 metric.
+func (r *Result) TimeSpread() float64 {
+	return stats.Spread(metric(r.Reps, func(m k20power.Measurement) float64 { return m.ActiveTime }))
+}
+
+// EnergySpread is the energy counterpart of TimeSpread.
+func (r *Result) EnergySpread() float64 {
+	return stats.Spread(metric(r.Reps, func(m k20power.Measurement) float64 { return m.Energy }))
+}
+
+func metric(ms []k20power.Measurement, f func(k20power.Measurement) float64) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = f(m)
+	}
+	return out
+}
+
+// Runner measures programs through the full stack and caches results.
+type Runner struct {
+	// Repetitions is the number of repeated measurements (the paper uses 3).
+	Repetitions int
+	// RuntimeJitter is the per-repetition relative runtime perturbation
+	// standard deviation (models OS/driver/thermal run-to-run variation).
+	RuntimeJitter float64
+	// Sensor options template; the seed is set per repetition.
+	Analysis k20power.Options
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// NewRunner returns a Runner with the paper's methodology defaults.
+func NewRunner() *Runner {
+	return &Runner{
+		Repetitions:   3,
+		RuntimeJitter: 0.008,
+		Analysis:      k20power.DefaultOptions(),
+		cache:         make(map[string]*cacheEntry),
+	}
+}
+
+// Measure runs the program at the given input and configuration (cached).
+// It returns ErrInsufficientSamples-wrapped errors when the sensor could not
+// collect enough samples, which experiments treat as "program excluded at
+// this configuration" exactly like the paper does.
+func (r *Runner) Measure(p Program, input string, clk kepler.Clocks) (*Result, error) {
+	key := joinKey(p.Name(), input, clk.Name, clk.Model().Name)
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*cacheEntry)
+	}
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = r.measure(p, input, clk)
+	})
+	return e.res, e.err
+}
+
+// measure simulates the device once (execution is deterministic per
+// configuration) and then takes Repetitions sensor recordings with
+// independent noise and runtime jitter, mirroring repeated wall-clock runs.
+func (r *Runner) measure(p Program, input string, clk kepler.Clocks) (*Result, error) {
+	dev := sim.NewDevice(clk)
+	if err := p.Run(dev, input); err != nil {
+		return nil, fmt.Errorf("%s/%s@%s: %w", p.Name(), input, clk.Name, err)
+	}
+	segs := power.Timeline(dev)
+
+	res := &Result{
+		Program:        p.Name(),
+		Input:          input,
+		Config:         clk.Name,
+		TrueActiveTime: dev.ActiveTime(),
+		TrueEnergy:     power.ActiveEnergy(dev),
+	}
+	reps := r.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	var firstErr error
+	for rep := 0; rep < reps; rep++ {
+		seed := seedFor(p.Name(), input, clk.Model().Name, clk.Name, rep)
+		perturbed := perturbTimeline(segs, seed, r.RuntimeJitter)
+		samples := sensor.Record(perturbed, sensor.DefaultOptions(seed))
+		m, err := k20power.Analyze(samples, r.Analysis)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s@%s: %w", p.Name(), input, clk.Name, err)
+			}
+			continue
+		}
+		res.Reps = append(res.Reps, m)
+	}
+	if len(res.Reps) == 0 {
+		return nil, firstErr
+	}
+	res.ActiveTime = stats.Median(metric(res.Reps, func(m k20power.Measurement) float64 { return m.ActiveTime }))
+	res.Energy = stats.Median(metric(res.Reps, func(m k20power.Measurement) float64 { return m.Energy }))
+	res.AvgPower = stats.Median(metric(res.Reps, func(m k20power.Measurement) float64 { return m.AvgPower }))
+	return res, nil
+}
+
+// perturbTimeline stretches the timeline by a small random factor and scales
+// power by another, modeling run-to-run machine variation.
+func perturbTimeline(segs []power.Segment, seed uint64, jitter float64) []power.Segment {
+	if jitter <= 0 {
+		return segs
+	}
+	rng := newRNG(seed ^ 0xfeedface)
+	ts := 1 + rng.normal()*jitter
+	ps := 1 + rng.normal()*jitter*0.4
+	if ts < 0.9 {
+		ts = 0.9
+	}
+	if ps < 0.9 {
+		ps = 0.9
+	}
+	out := make([]power.Segment, len(segs))
+	for i, s := range segs {
+		out[i] = power.Segment{Start: s.Start * ts, Duration: s.Duration * ts, Watts: s.Watts * ps}
+	}
+	return out
+}
+
+// MeasureAll measures every (program, input, config) combination in
+// parallel, returning the results keyed the same way Measure caches them.
+// Combinations that fail with insufficient samples are skipped (the paper's
+// exclusions); other errors abort.
+func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInputs bool) error {
+	type job struct {
+		p     Program
+		input string
+		clk   kepler.Clocks
+	}
+	var jobs []job
+	for _, p := range programs {
+		inputs := []string{p.DefaultInput()}
+		if allInputs {
+			inputs = p.Inputs()
+		}
+		for _, in := range inputs {
+			for _, clk := range configs {
+				jobs = append(jobs, job{p, in, clk})
+			}
+		}
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Measure(j.p, j.input, j.clk); err != nil && !isInsufficient(err) {
+				errs <- err
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func isInsufficient(err error) bool {
+	return err != nil && (errorsIs(err, k20power.ErrInsufficientSamples) || errorsIs(err, k20power.ErrNoActivity))
+}
+
+func seedFor(parts ...any) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		s := fmt.Sprint(p)
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		h = (h ^ 0x1f) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/k20power"
+	"repro/internal/kepler"
+	"repro/internal/sim"
+)
+
+func TestRunnerMediansAndReps(t *testing.T) {
+	r := NewRunner()
+	p := computeBoundToy(4000)
+	res, err := r.Measure(p, "default", kepler.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reps) != 3 {
+		t.Fatalf("reps = %d, want 3", len(res.Reps))
+	}
+	if res.ActiveTime <= 0 || res.Energy <= 0 || res.AvgPower <= 0 {
+		t.Fatalf("bad medians: %+v", res)
+	}
+	// The median must lie within the repetition range.
+	lo, hi := res.Reps[0].ActiveTime, res.Reps[0].ActiveTime
+	for _, m := range res.Reps {
+		if m.ActiveTime < lo {
+			lo = m.ActiveTime
+		}
+		if m.ActiveTime > hi {
+			hi = m.ActiveTime
+		}
+	}
+	if res.ActiveTime < lo || res.ActiveTime > hi {
+		t.Errorf("median %f outside [%f, %f]", res.ActiveTime, lo, hi)
+	}
+	if res.TimeSpread() < 0 || res.TimeSpread() > 0.2 {
+		t.Errorf("time spread %f implausible", res.TimeSpread())
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	calls := 0
+	p := &toyProgram{
+		name:  "toy-cache",
+		suite: SuiteSDK,
+		run: func(dev *sim.Device) error {
+			calls++
+			dev.SetTimeScale(100)
+			l := dev.Launch("k", 512, 256, func(c *sim.Ctx) { c.FP32Ops(500) })
+			dev.Repeat(l, 4000)
+			return nil
+		},
+	}
+	r := NewRunner()
+	a, err := r.Measure(p, "default", kepler.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Measure(p, "default", kepler.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("program ran %d times, want 1 (cached)", calls)
+	}
+	if a != b {
+		t.Error("cache returned a different result pointer")
+	}
+	// Different config: a fresh run.
+	if _, err := r.Measure(p, "default", kepler.F614); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("program ran %d times after second config, want 2", calls)
+	}
+}
+
+func TestRunnerPropagatesValidationError(t *testing.T) {
+	p := &toyProgram{
+		name:  "toy-broken",
+		suite: SuiteSDK,
+		run: func(dev *sim.Device) error {
+			return Validatef("toy-broken", "deliberate failure")
+		},
+	}
+	r := NewRunner()
+	if _, err := r.Measure(p, "default", kepler.Default); err == nil {
+		t.Fatal("validation error swallowed")
+	}
+}
+
+func TestRunnerInsufficientSamples(t *testing.T) {
+	// A microscopic kernel yields almost no samples.
+	p := &toyProgram{
+		name:  "toy-tiny",
+		suite: SuiteSDK,
+		run: func(dev *sim.Device) error {
+			dev.Launch("k", 16, 256, func(c *sim.Ctx) { c.FP32Ops(10) })
+			return nil
+		},
+	}
+	r := NewRunner()
+	_, err := r.Measure(p, "default", kepler.Default)
+	if err == nil {
+		t.Fatal("expected insufficiency")
+	}
+	if !IsInsufficient(err) {
+		t.Fatalf("error %v not classified as insufficient", err)
+	}
+	if !errors.Is(err, k20power.ErrInsufficientSamples) && !errors.Is(err, k20power.ErrNoActivity) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+func TestMeasureAllSkipsInsufficient(t *testing.T) {
+	progs := []Program{
+		computeBoundToy(4000),
+		&toyProgram{
+			name:  "toy-tiny2",
+			suite: SuiteSDK,
+			run: func(dev *sim.Device) error {
+				dev.Launch("k", 16, 256, func(c *sim.Ctx) { c.FP32Ops(10) })
+				return nil
+			},
+		},
+	}
+	r := NewRunner()
+	if err := r.MeasureAll(progs, []kepler.Clocks{kepler.Default}, false); err != nil {
+		t.Fatalf("MeasureAll should skip insufficiency: %v", err)
+	}
+}
+
+func TestSeedForDistinct(t *testing.T) {
+	a := seedFor("p", "in", "cfg", 0)
+	b := seedFor("p", "in", "cfg", 1)
+	c := seedFor("p", "in2", "cfg", 0)
+	if a == b || a == c || b == c {
+		t.Error("seed collisions")
+	}
+}
+
+func TestPerturbTimelineStretch(t *testing.T) {
+	if segs := perturbTimeline(nil, 1, 0.01); len(segs) != 0 {
+		t.Error("nil timeline should stay empty")
+	}
+	if segs := perturbTimeline(nil, 1, 0); segs != nil {
+		t.Error("zero jitter should pass the input through")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kepler"
+	"repro/internal/sim"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+
+	r := NewRunner()
+	p := computeBoundToy(4000)
+	want, err := r.Measure(p, "default", kepler.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveStore(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh runner seeded from the store must return the same numbers
+	// WITHOUT running the program.
+	calls := 0
+	spy := &toyProgram{
+		name:  p.Name(),
+		suite: p.Suite(),
+		run: func(dev *sim.Device) error {
+			calls++
+			return nil
+		},
+	}
+	r2 := NewRunner()
+	if err := r2.LoadStore(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Measure(spy, "default", kepler.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("program ran %d times despite cached store", calls)
+	}
+	if got.ActiveTime != want.ActiveTime || got.Energy != want.Energy || got.AvgPower != want.AvgPower {
+		t.Errorf("store round trip changed values: %+v vs %+v", got, want)
+	}
+	if len(got.Reps) != len(want.Reps) {
+		t.Errorf("reps lost: %d vs %d", len(got.Reps), len(want.Reps))
+	}
+}
+
+func TestStoreCachesInsufficiency(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+
+	tiny := &toyProgram{
+		name:  "toy-tiny-store",
+		suite: SuiteSDK,
+		run: func(dev *sim.Device) error {
+			dev.Launch("k", 16, 256, func(c *sim.Ctx) { c.FP32Ops(10) })
+			return nil
+		},
+	}
+	r := NewRunner()
+	if _, err := r.Measure(tiny, "default", kepler.Default); err == nil {
+		t.Fatal("expected insufficiency")
+	}
+	if err := r.SaveStore(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner()
+	if err := r2.LoadStore(path); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	spy := &toyProgram{name: tiny.name, suite: tiny.suite, run: func(dev *sim.Device) error {
+		calls++
+		dev.Launch("k", 16, 256, func(c *sim.Ctx) { c.FP32Ops(10) })
+		return nil
+	}}
+	_, err := r2.Measure(spy, "default", kepler.Default)
+	if err == nil || !IsInsufficient(err) {
+		t.Fatalf("cached insufficiency not reproduced: %v", err)
+	}
+	if calls != 0 {
+		t.Error("program re-ran despite cached insufficiency")
+	}
+}
+
+func TestStoreRejectsWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := os.WriteFile(path, []byte(`{"version":999,"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	if err := r.LoadStore(path); err == nil {
+		t.Fatal("wrong-version store accepted")
+	}
+}
+
+func TestStoreRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	if err := r.LoadStore(path); err == nil {
+		t.Fatal("garbage store accepted")
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	p, i, c, b, ok := splitKey(joinKey("NB", "1m", "614", "K20c"))
+	if !ok || p != "NB" || i != "1m" || c != "614" || b != "K20c" {
+		t.Errorf("splitKey wrong: %q %q %q %q %v", p, i, c, b, ok)
+	}
+	if _, _, _, _, ok := splitKey("toofew"); ok {
+		t.Error("malformed key accepted")
+	}
+}

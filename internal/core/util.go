@@ -1,0 +1,37 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// errorsIs wraps errors.Is (kept as a helper so call sites stay short).
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// IsInsufficient reports whether the error means the run yielded too few
+// power samples to analyze (the paper's exclusion criterion).
+func IsInsufficient(err error) bool { return isInsufficient(err) }
+
+// rng is a deterministic SplitMix64-based generator for jitter.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x7335f4914f6cdd1d} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) normal() float64 {
+	u1 := r.float()
+	for u1 == 0 {
+		u1 = r.float()
+	}
+	u2 := r.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,207 @@
+// Package k20power analyzes power-sensor sample logs the way Burtscher,
+// Zecena and Zong's K20Power tool does: it estimates the idle level, derives
+// a dynamic per-run activity threshold (lower frequency settings produce
+// lower plateaus and therefore lower thresholds), compensates the sensor's
+// running-average lag, and integrates the active region to obtain the
+// program's active runtime, energy consumption and average power draw. Runs
+// whose active region holds too few samples are rejected, mirroring the
+// paper's exclusion of most programs at the 324 MHz configuration.
+package k20power
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sensor"
+)
+
+// ErrInsufficientSamples reports that the active region contained too few
+// samples for a reliable analysis.
+var ErrInsufficientSamples = errors.New("k20power: insufficient power samples in active region")
+
+// ErrNoActivity reports that no sample exceeded the activity threshold.
+var ErrNoActivity = errors.New("k20power: no sample above activity threshold")
+
+// Options configure the analysis.
+type Options struct {
+	// Tau is the sensor time constant assumed for lag compensation.
+	Tau float64
+	// ThresholdFrac places the activity threshold this fraction of the way
+	// from the idle level to the peak level.
+	ThresholdFrac float64
+	// TailGuardW keeps the threshold at least this far above idle so the
+	// driver's tail power is not mistaken for activity.
+	TailGuardW float64
+	// MinSamples is the minimum number of samples the active region must
+	// contain.
+	MinSamples int
+	// MinSamples1Hz is the minimum when the active region was sampled at
+	// the slow idle rate (the sensor never switched to 10 Hz): the paper
+	// found such runs too inconsistent to use below this length.
+	MinSamples1Hz int
+}
+
+// DefaultOptions returns the calibrated analysis parameters.
+func DefaultOptions() Options {
+	return Options{Tau: 0.7, ThresholdFrac: 0.25, TailGuardW: 4.0, MinSamples: 12, MinSamples1Hz: 30}
+}
+
+// Measurement is the result of analyzing one run.
+type Measurement struct {
+	// ActiveTime is the time the GPU spent executing kernel code, seconds.
+	ActiveTime float64
+	// Energy is the energy consumed during the active region, joules.
+	Energy float64
+	// AvgPower is Energy/ActiveTime, watts.
+	AvgPower float64
+	// IdleW, PeakW and ThresholdW document the detected levels.
+	IdleW, PeakW, ThresholdW float64
+	// ActiveSamples is the number of samples inside the active region.
+	ActiveSamples int
+}
+
+// String summarizes the measurement in one line.
+func (m Measurement) String() string {
+	return fmt.Sprintf("active %.3f s, %.1f J, %.1f W (idle %.1f W, threshold %.1f W, %d samples)",
+		m.ActiveTime, m.Energy, m.AvgPower, m.IdleW, m.ThresholdW, m.ActiveSamples)
+}
+
+// Analyze processes a sample log.
+func Analyze(samples []sensor.Sample, opt Options) (Measurement, error) {
+	if opt.Tau <= 0 {
+		opt.Tau = 0.7
+	}
+	if opt.ThresholdFrac <= 0 {
+		opt.ThresholdFrac = 0.40
+	}
+	if opt.MinSamples <= 0 {
+		opt.MinSamples = 12
+	}
+	if len(samples) < 3 {
+		return Measurement{}, ErrInsufficientSamples
+	}
+
+	comp := Compensate(samples, opt.Tau)
+
+	// The log starts and ends at driver idle, but a long run at the active
+	// 10 Hz rate can make idle samples a tiny fraction of the log, so a
+	// plain low percentile would land on the plateau. Use a near-minimum of
+	// the RAW samples (compensation overshoots on falling edges; the second
+	// smallest value guards against a single noise dip).
+	idle := percentile(samples, 0.0)
+	if len(samples) > 4 {
+		idle = nthSmallest(samples, 1)
+	}
+	peak := percentile(comp, 0.999)
+	threshold := idle + opt.ThresholdFrac*(peak-idle)
+	if min := idle + opt.TailGuardW; threshold < min {
+		threshold = min
+	}
+
+	first, last := -1, -1
+	for i, s := range comp {
+		if s.W >= threshold {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	m := Measurement{IdleW: idle, PeakW: peak, ThresholdW: threshold}
+	if first < 0 {
+		return m, ErrNoActivity
+	}
+	m.ActiveSamples = last - first + 1
+	need := opt.MinSamples
+	if opt.MinSamples1Hz > need && last > first {
+		// Median sampling interval above half a second means the sensor
+		// stayed at the idle 1 Hz rate throughout.
+		if (comp[last].T-comp[first].T)/float64(last-first) > 0.5 {
+			need = opt.MinSamples1Hz
+		}
+	}
+	if m.ActiveSamples < need {
+		return m, fmt.Errorf("%w: %d < %d", ErrInsufficientSamples, m.ActiveSamples, need)
+	}
+
+	// Extend half a sampling interval on each side: the kernel started
+	// between the last sub-threshold sample and the first active one.
+	lead := halfGap(comp, first)
+	trail := halfGap(comp, last)
+	m.ActiveTime = comp[last].T - comp[first].T + lead + trail
+
+	// Trapezoidal integration over the active region plus the edge halves.
+	var e float64
+	for i := first; i < last; i++ {
+		dt := comp[i+1].T - comp[i].T
+		e += 0.5 * (comp[i].W + comp[i+1].W) * dt
+	}
+	e += comp[first].W * lead
+	e += comp[last].W * trail
+	m.Energy = e
+	if m.ActiveTime > 0 {
+		m.AvgPower = m.Energy / m.ActiveTime
+	}
+	return m, nil
+}
+
+// Compensate undoes the sensor's first-order running average: for a
+// low-pass y' = (x - y)/tau, the input is x = y + tau * dy/dt.
+func Compensate(samples []sensor.Sample, tau float64) []sensor.Sample {
+	out := make([]sensor.Sample, len(samples))
+	copy(out, samples)
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].T - samples[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		x := samples[i].W + tau*(samples[i].W-samples[i-1].W)/dt
+		if x < 0 {
+			x = 0
+		}
+		out[i].W = x
+	}
+	return out
+}
+
+// halfGap returns half the sampling interval adjacent to index i.
+func halfGap(samples []sensor.Sample, i int) float64 {
+	if i > 0 {
+		return (samples[i].T - samples[i-1].T) / 2
+	}
+	if i+1 < len(samples) {
+		return (samples[i+1].T - samples[i].T) / 2
+	}
+	return 0
+}
+
+// nthSmallest returns the n-th smallest power (0-based).
+func nthSmallest(samples []sensor.Sample, n int) float64 {
+	ws := make([]float64, len(samples))
+	for i, s := range samples {
+		ws[i] = s.W
+	}
+	sort.Float64s(ws)
+	if n >= len(ws) {
+		n = len(ws) - 1
+	}
+	return ws[n]
+}
+
+// percentile returns the p-quantile (0..1) of the sample powers.
+func percentile(samples []sensor.Sample, p float64) float64 {
+	ws := make([]float64, len(samples))
+	for i, s := range samples {
+		ws[i] = s.W
+	}
+	sort.Float64s(ws)
+	idx := int(p * float64(len(ws)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ws) {
+		idx = len(ws) - 1
+	}
+	return ws[idx]
+}

@@ -1,0 +1,211 @@
+package k20power
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sensor"
+)
+
+// cleanSensor records a timeline without noise so analysis accuracy can be
+// checked tightly.
+func cleanSensor(segs []power.Segment, seed uint64) []sensor.Sample {
+	opt := sensor.DefaultOptions(seed)
+	opt.NoiseSigmaW = 0
+	opt.DriftAmpW = 0
+	return sensor.Record(segs, opt)
+}
+
+func plateau(watts, dur float64) []power.Segment {
+	return []power.Segment{
+		{Start: 0, Duration: 3, Watts: 25},
+		{Start: 3, Duration: dur, Watts: watts},
+		{Start: 3 + dur, Duration: 1.6, Watts: 29},
+		{Start: 4.6 + dur, Duration: 3, Watts: 25},
+	}
+}
+
+func TestAnalyzeRecoversRuntimeEnergyPower(t *testing.T) {
+	const w, dur = 110.0, 20.0
+	samples := cleanSensor(plateau(w, dur), 5)
+	m, err := Analyze(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ActiveTime-dur)/dur > 0.08 {
+		t.Errorf("active time %.2f s, want ~%.1f", m.ActiveTime, dur)
+	}
+	wantE := w * dur
+	if math.Abs(m.Energy-wantE)/wantE > 0.10 {
+		t.Errorf("energy %.1f J, want ~%.1f", m.Energy, wantE)
+	}
+	if math.Abs(m.AvgPower-w)/w > 0.06 {
+		t.Errorf("avg power %.1f W, want ~%.1f", m.AvgPower, w)
+	}
+}
+
+func TestAnalyzeIdleDetection(t *testing.T) {
+	samples := cleanSensor(plateau(90, 15), 2)
+	m, err := Analyze(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.IdleW-25) > 2 {
+		t.Errorf("idle = %.1f W, want ~25", m.IdleW)
+	}
+	if m.ThresholdW <= m.IdleW || m.ThresholdW >= m.PeakW {
+		t.Errorf("threshold %.1f outside (idle %.1f, peak %.1f)", m.ThresholdW, m.IdleW, m.PeakW)
+	}
+}
+
+func TestThresholdLowerForLowerPlateau(t *testing.T) {
+	high, err := Analyze(cleanSensor(plateau(120, 15), 1), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Analyze(cleanSensor(plateau(50, 15), 1), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ThresholdW >= high.ThresholdW {
+		t.Errorf("low-plateau threshold %.1f >= high-plateau %.1f; paper: lower frequency settings need lower thresholds",
+			low.ThresholdW, high.ThresholdW)
+	}
+}
+
+func TestInsufficientSamplesShortRun(t *testing.T) {
+	// A 0.4 s kernel yields only ~4 active samples even at 10 Hz.
+	samples := cleanSensor(plateau(110, 0.4), 3)
+	_, err := Analyze(samples, DefaultOptions())
+	if err == nil {
+		t.Fatal("expected insufficient-samples error")
+	}
+	if !errors.Is(err, ErrInsufficientSamples) {
+		t.Errorf("error = %v, want ErrInsufficientSamples", err)
+	}
+}
+
+func TestInsufficientAt1HzLowPower(t *testing.T) {
+	// A 38 W plateau stays at 1 Hz; 8 s of it -> ~8 samples < 12.
+	samples := cleanSensor(plateau(38, 8), 3)
+	_, err := Analyze(samples, DefaultOptions())
+	if err == nil || (!errors.Is(err, ErrInsufficientSamples) && !errors.Is(err, ErrNoActivity)) {
+		t.Errorf("want insufficiency for short low-power run, got %v", err)
+	}
+	// But a long one is measurable at 1 Hz.
+	samples = cleanSensor(plateau(38, 60), 3)
+	m, err := Analyze(samples, DefaultOptions())
+	if err != nil {
+		t.Fatalf("long low-power run should be measurable: %v", err)
+	}
+	if math.Abs(m.ActiveTime-60)/60 > 0.08 {
+		t.Errorf("active time %.1f, want ~60", m.ActiveTime)
+	}
+}
+
+func TestNoActivityFlatIdle(t *testing.T) {
+	segs := []power.Segment{{Start: 0, Duration: 30, Watts: 25}}
+	samples := cleanSensor(segs, 4)
+	_, err := Analyze(samples, DefaultOptions())
+	if err == nil {
+		t.Error("flat idle log should not contain activity")
+	}
+}
+
+func TestCompensateRecoversStep(t *testing.T) {
+	// Build an EMA-filtered step by hand and check Compensate sharpens it.
+	tau := 0.7
+	var samples []sensor.Sample
+	y := 25.0
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 0.1
+		x := 25.0
+		if tm >= 2 {
+			x = 100
+		}
+		y += (x - y) * (1 - math.Exp(-0.1/tau))
+		samples = append(samples, sensor.Sample{T: tm, W: y})
+	}
+	comp := Compensate(samples, tau)
+	// Shortly after the step, the compensated value must be much closer to
+	// 100 than the raw EMA value.
+	idx := 25 // t = 2.5 s
+	if comp[idx].W < 90 {
+		t.Errorf("compensated value %.1f at t=2.5s, want ~100 (raw %.1f)", comp[idx].W, samples[idx].W)
+	}
+	if samples[idx].W > comp[idx].W {
+		t.Error("compensation should not reduce a rising edge")
+	}
+}
+
+func TestAnalyzeTooFewSamplesInput(t *testing.T) {
+	_, err := Analyze([]sensor.Sample{{T: 0, W: 25}}, DefaultOptions())
+	if !errors.Is(err, ErrInsufficientSamples) {
+		t.Errorf("want ErrInsufficientSamples, got %v", err)
+	}
+}
+
+func TestMeasurementString(t *testing.T) {
+	m := Measurement{ActiveTime: 1.5, Energy: 100, AvgPower: 66.7, IdleW: 25, ThresholdW: 40, ActiveSamples: 15}
+	if s := m.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+}
+
+func TestNthSmallest(t *testing.T) {
+	s := []sensor.Sample{{W: 5}, {W: 1}, {W: 3}}
+	if nthSmallest(s, 0) != 1 || nthSmallest(s, 1) != 3 || nthSmallest(s, 9) != 5 {
+		t.Error("nthSmallest wrong")
+	}
+}
+
+func TestAnalyzeRobustToNonMonotonicTimes(t *testing.T) {
+	// A duplicated timestamp (dt = 0) must not divide by zero.
+	samples := cleanSensor(plateau(90, 15), 2)
+	samples = append(samples[:10], append([]sensor.Sample{samples[9]}, samples[10:]...)...)
+	if _, err := Analyze(samples, DefaultOptions()); err != nil {
+		t.Fatalf("duplicate timestamp broke analysis: %v", err)
+	}
+}
+
+func TestAnalyzeEmptyLog(t *testing.T) {
+	if _, err := Analyze(nil, DefaultOptions()); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+func TestAnalyze1HzNeedsMoreSamples(t *testing.T) {
+	// 20 s of 38 W plateau at 1 Hz: 20 samples passes MinSamples but not
+	// MinSamples1Hz.
+	samples := cleanSensor(plateau(38, 20), 3)
+	_, err := Analyze(samples, DefaultOptions())
+	if err == nil {
+		t.Fatal("short 1 Hz run accepted; want the paper's stricter bar")
+	}
+	// 40 s is enough.
+	samples = cleanSensor(plateau(38, 40), 3)
+	if _, err := Analyze(samples, DefaultOptions()); err != nil {
+		t.Fatalf("long 1 Hz run rejected: %v", err)
+	}
+}
+
+func TestPropertyAnalyzeScalesLinearly(t *testing.T) {
+	// Doubling the plateau power should roughly double energy and power but
+	// keep the active time.
+	a, err := Analyze(cleanSensor(plateau(60, 20), 5), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(cleanSensor(plateau(120, 20), 5), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := b.Energy / a.Energy; r < 1.7 || r > 2.3 {
+		t.Errorf("energy ratio %f, want ~2", r)
+	}
+	if r := b.ActiveTime / a.ActiveTime; r < 0.9 || r > 1.1 {
+		t.Errorf("time ratio %f, want ~1", r)
+	}
+}

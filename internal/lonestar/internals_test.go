@@ -1,0 +1,242 @@
+package lonestar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// --- Barnes-Hut octree internals ---
+
+func bhTestBodies(n int, seed uint64) ([][3]float64, []float64) {
+	rng := xrand.New(seed)
+	pos := make([][3]float64, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = [3]float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		mass[i] = 0.5 + rng.Float64()
+	}
+	return pos, mass
+}
+
+func TestBHTreeMassConservation(t *testing.T) {
+	pos, mass := bhTestBodies(500, 1)
+	tree, depths := bhBuildTree(pos, mass)
+	var want float64
+	for _, m := range mass {
+		want += m
+	}
+	if math.Abs(tree[0].mass-want) > 1e-9*want {
+		t.Errorf("root mass %g, want %g", tree[0].mass, want)
+	}
+	for i, d := range depths {
+		if d <= 0 {
+			t.Fatalf("body %d has depth %d", i, d)
+		}
+	}
+}
+
+func TestBHTreeCenterOfMass(t *testing.T) {
+	pos, mass := bhTestBodies(300, 2)
+	tree, _ := bhBuildTree(pos, mass)
+	var mx, my, mz, m float64
+	for i := range pos {
+		mx += mass[i] * pos[i][0]
+		my += mass[i] * pos[i][1]
+		mz += mass[i] * pos[i][2]
+		m += mass[i]
+	}
+	if math.Abs(tree[0].cx-mx/m) > 1e-9 || math.Abs(tree[0].cy-my/m) > 1e-9 || math.Abs(tree[0].cz-mz/m) > 1e-9 {
+		t.Errorf("root center (%g,%g,%g), want (%g,%g,%g)",
+			tree[0].cx, tree[0].cy, tree[0].cz, mx/m, my/m, mz/m)
+	}
+}
+
+func TestBHTreeContainsAllBodies(t *testing.T) {
+	pos, mass := bhTestBodies(400, 3)
+	tree, _ := bhBuildTree(pos, mass)
+	found := map[int32]bool{}
+	for _, nd := range tree {
+		if nd.body >= 0 {
+			if found[nd.body] {
+				t.Fatalf("body %d appears twice", nd.body)
+			}
+			found[nd.body] = true
+		}
+	}
+	if len(found) != len(pos) {
+		t.Errorf("tree holds %d bodies, want %d", len(found), len(pos))
+	}
+}
+
+func TestBHForceApproximatesDirect(t *testing.T) {
+	pos, mass := bhTestBodies(600, 4)
+	tree, _ := bhBuildTree(pos, mass)
+	worst := 0.0
+	for _, i := range []int{0, 100, 599} {
+		ax, ay, az, visited := bhForce(tree, pos, i)
+		if visited <= 0 || visited > len(tree) {
+			t.Fatalf("visited = %d", visited)
+		}
+		var dx, dy, dz float64
+		for j := range pos {
+			if j == i {
+				continue
+			}
+			ddx := pos[j][0] - pos[i][0]
+			ddy := pos[j][1] - pos[i][1]
+			ddz := pos[j][2] - pos[i][2]
+			d2 := ddx*ddx + ddy*ddy + ddz*ddz + bhSoftening
+			inv := 1 / math.Sqrt(d2)
+			f := mass[j] * inv * inv * inv
+			dx += ddx * f
+			dy += ddy * f
+			dz += ddz * f
+		}
+		got := math.Sqrt(ax*ax + ay*ay + az*az)
+		want := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		rel := math.Abs(got-want) / (want + 1e-12)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.08 {
+		t.Errorf("worst relative force error %.3f with theta=%.2f", worst, bhTheta)
+	}
+}
+
+func TestBHSortOrderIsPermutation(t *testing.T) {
+	pos, mass := bhTestBodies(256, 5)
+	tree, _ := bhBuildTree(pos, mass)
+	order := bhSortOrder(tree, len(pos))
+	seen := make([]bool, len(pos))
+	for _, b := range order {
+		if b < 0 || int(b) >= len(pos) || seen[b] {
+			t.Fatalf("order not a permutation at %d", b)
+		}
+		seen[b] = true
+	}
+}
+
+// --- Survey propagation internals ---
+
+func TestNSPGenerateConsistency(t *testing.T) {
+	f := nspGenerate(400, 100, 3, 7)
+	if len(f.lits) != 400 {
+		t.Fatalf("clauses = %d", len(f.lits))
+	}
+	occCount := 0
+	for v, occ := range f.occ {
+		for _, a := range occ {
+			found := false
+			for _, lv := range f.lits[a] {
+				if lv == int32(v) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("occ list of v%d lists clause %d which lacks it", v, a)
+			}
+			occCount++
+		}
+	}
+	if occCount != 400*3 {
+		t.Errorf("total occurrences %d, want %d", occCount, 400*3)
+	}
+	// No duplicate variables within a clause.
+	for a, lits := range f.lits {
+		seen := map[int32]bool{}
+		for _, v := range lits {
+			if seen[v] {
+				t.Fatalf("clause %d repeats v%d", a, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestNSPRepairImproves(t *testing.T) {
+	f := nspGenerate(600, 200, 3, 9)
+	rng := xrand.New(1)
+	assign := make([]bool, f.nv)
+	for i := range assign {
+		assign[i] = rng.Float64() < 0.5
+	}
+	before := nspSatisfied(f, assign)
+	nspRepair(f, assign, 300, rng)
+	after := nspSatisfied(f, assign)
+	if after < before {
+		t.Errorf("repair made things worse: %d -> %d", before, after)
+	}
+	if float64(after) < 0.95*float64(f.nc) {
+		t.Errorf("repair left %d/%d satisfied", after, f.nc)
+	}
+}
+
+func TestNSPSortBias(t *testing.T) {
+	b := []nspBias{{1, 0.2, true}, {2, 0.9, false}, {3, 0.5, true}}
+	sortBias(b)
+	if b[0].mag < b[1].mag || b[1].mag < b[2].mag {
+		t.Errorf("not descending: %+v", b)
+	}
+}
+
+// --- Points-to analysis internals ---
+
+func TestPTARefSolverSoundAndIdempotent(t *testing.T) {
+	cs, _, err := ptaInput("vim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ptaSolveRef(cs)
+	// Soundness spot-checks: every address-of constraint is in the set.
+	for _, a := range cs.addrOf {
+		if pts[a[0]][a[1]/64]&(1<<uint(a[1]%64)) == 0 {
+			t.Fatalf("addrOf p%d = &v%d missing from solution", a[0], a[1])
+		}
+	}
+	// Copy constraints: pts(dst) superset of pts(src).
+	for _, e := range cs.copies {
+		for w := 0; w < cs.words; w++ {
+			if pts[e[0]][w]&pts[e[1]][w] != pts[e[1]][w] {
+				t.Fatalf("copy p%d >= p%d violated", e[0], e[1])
+			}
+		}
+	}
+	// Idempotence: running the solver on its own output changes nothing
+	// (the fixpoint property).
+	again := ptaSolveRef(cs)
+	for v := range pts {
+		for w := range pts[v] {
+			if pts[v][w] != again[v][w] {
+				t.Fatal("solver not deterministic")
+			}
+		}
+	}
+}
+
+func TestPTAInputsGrow(t *testing.T) {
+	sizes := map[string]int{}
+	for _, in := range []string{"vim", "pine", "tshark"} {
+		cs, _, err := ptaInput(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[in] = cs.vars
+	}
+	if !(sizes["vim"] < sizes["pine"] && sizes["pine"] < sizes["tshark"]) {
+		t.Errorf("input sizes not increasing: %v", sizes)
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	f := func(shift uint8) bool {
+		s := int(shift % 63)
+		return trailingZeros(1<<uint(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

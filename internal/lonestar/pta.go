@@ -1,0 +1,293 @@
+package lonestar
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// PTA is LonestarGPU's points-to analysis: Andersen-style flow- and
+// context-insensitive inclusion-constraint solving. Points-to sets are
+// bitsets; copy edges propagate whole sets, and load/store constraints add
+// new copy edges as the sets grow, so the work is input dependent in the
+// extreme — the paper singles PTA out as the code whose behaviour changes
+// the most across inputs. The paper's inputs are constraint sets extracted
+// from vim (small), pine (medium) and tshark (large).
+type PTA struct{ core.Meta }
+
+// NewPTA constructs the points-to analysis benchmark.
+func NewPTA() *PTA {
+	return &PTA{core.Meta{
+		ProgName:    "PTA",
+		ProgSuite:   core.SuiteLonestar,
+		Desc:        "Andersen-style inclusion-based points-to analysis",
+		Kernels:     40,
+		InputNames:  []string{"vim", "pine", "tshark"},
+		Default:     "tshark",
+		IsIrregular: true,
+	}}
+}
+
+// ptaConstraints is a synthetic constraint system shaped like a C program's:
+// address-of, copy, load and store constraints over pointer variables.
+type ptaConstraints struct {
+	vars   int
+	words  int        // bitset words per variable
+	addrOf [][2]int32 // p = &x
+	copies [][2]int32 // p = q
+	loads  [][2]int32 // p = *q
+	stores [][2]int32 // *p = q
+}
+
+func ptaInput(input string) (*ptaConstraints, float64, error) {
+	var vars int
+	var realVars float64
+	switch input {
+	case "vim":
+		vars, realVars = 1500, 95e3
+	case "pine":
+		vars, realVars = 2500, 160e3
+	case "tshark":
+		vars, realVars = 4000, 1200e3
+	default:
+		return nil, 0, fmt.Errorf("PTA: unknown input %q", input)
+	}
+	rng := xrand.New(xrand.HashString("pta-" + input))
+	cs := &ptaConstraints{vars: vars, words: (vars + 63) / 64}
+	nAddr := vars / 2
+	nCopy := vars * 2
+	nLoad := vars / 3
+	nStore := vars / 3
+	for i := 0; i < nAddr; i++ {
+		cs.addrOf = append(cs.addrOf, [2]int32{int32(rng.Intn(vars)), int32(rng.Intn(vars))})
+	}
+	for i := 0; i < nCopy; i++ {
+		// Skewed: some variables are copy hubs (like generic pointers).
+		p := int32(rng.Intn(vars))
+		q := int32(rng.Intn(vars / 4))
+		if rng.Float64() < 0.5 {
+			p, q = q, p
+		}
+		cs.copies = append(cs.copies, [2]int32{p, q})
+	}
+	for i := 0; i < nLoad; i++ {
+		cs.loads = append(cs.loads, [2]int32{int32(rng.Intn(vars)), int32(rng.Intn(vars))})
+	}
+	for i := 0; i < nStore; i++ {
+		cs.stores = append(cs.stores, [2]int32{int32(rng.Intn(vars)), int32(rng.Intn(vars))})
+	}
+	return cs, realVars / float64(vars), nil
+}
+
+// Run solves the constraints to a fixpoint and validates the result against
+// an independent sequential solver (exact set equality).
+func (p *PTA) Run(dev *sim.Device, input string) error {
+	cs, ratio, err := ptaInput(input)
+	if err != nil {
+		return err
+	}
+	// Points-to sets grow sub-linearly in the variable count, so the full
+	// variable ratio overstates the work; a third is calibrated.
+	dev.SetTimeScale(ratio / 3)
+
+	pts := make([][]uint64, cs.vars) // points-to bitsets
+	for i := range pts {
+		pts[i] = make([]uint64, cs.words)
+	}
+	for _, a := range cs.addrOf {
+		pts[a[0]][a[1]/64] |= 1 << uint(a[1]%64)
+	}
+	// Dynamic copy edges (including those added by load/store resolution).
+	copyEdges := make(map[[2]int32]bool, len(cs.copies))
+	var edgeList [][2]int32
+	addEdge := func(dst, src int32) {
+		k := [2]int32{dst, src}
+		if !copyEdges[k] {
+			copyEdges[k] = true
+			edgeList = append(edgeList, k)
+		}
+	}
+	for _, e := range cs.copies {
+		addEdge(e[0], e[1])
+	}
+
+	dPts := dev.NewArray(cs.vars*cs.words, 8)
+	dEdges := dev.NewArray(8*cs.vars, 8)
+	dWork := dev.NewArray(1, 4)
+
+	union := func(dst, src int32) bool {
+		changed := false
+		for w := 0; w < cs.words; w++ {
+			nv := pts[dst][w] | pts[src][w]
+			if nv != pts[dst][w] {
+				pts[dst][w] = nv
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	for round := 0; ; round++ {
+		changed := false
+		// Copy-edge propagation kernel (the bulk of PTA's 40 kernels are
+		// variants of this rule over partitioned edge ranges).
+		edges := edgeList
+		dev.Launch("pta_copy_rule", (len(edges)+127)/128, 128, func(c *sim.Ctx) {
+			i := c.TID()
+			if i >= len(edges) {
+				return
+			}
+			e := edges[i]
+			c.Load(dEdges.At(i%(8*cs.vars)), 8)
+			c.LoadRep(dPts.At(int(e[1])*cs.words), 8, cs.words)
+			c.LoadRep(dPts.At(int(e[0])*cs.words), 8, cs.words)
+			if union(e[0], e[1]) {
+				changed = true
+				c.StoreRep(dPts.At(int(e[0])*cs.words), 8, cs.words)
+				c.AtomicOp(dWork.At(0))
+			}
+			c.IntOps(3 * cs.words)
+		})
+		// Load rule: p = *q adds edges p <- t for every t in pts(q).
+		before := len(edgeList)
+		dev.Launch("pta_load_rule", (len(cs.loads)+127)/128, 128, func(c *sim.Ctx) {
+			i := c.TID()
+			if i >= len(cs.loads) {
+				return
+			}
+			l := cs.loads[i]
+			c.LoadRep(dPts.At(int(l[1])*cs.words), 8, cs.words)
+			targets := 0
+			for w := 0; w < cs.words; w++ {
+				bits := pts[l[1]][w]
+				for bits != 0 {
+					b := bits & (-bits)
+					t := int32(w*64) + int32(trailingZeros(bits))
+					addEdge(l[0], t)
+					bits ^= b
+					targets++
+				}
+			}
+			c.IntOps(4*cs.words + 3*targets)
+			if targets > 0 {
+				c.AtomicOp(dWork.At(0))
+			}
+		})
+		// Store rule: *p = q adds edges t <- q for every t in pts(p).
+		dev.Launch("pta_store_rule", (len(cs.stores)+127)/128, 128, func(c *sim.Ctx) {
+			i := c.TID()
+			if i >= len(cs.stores) {
+				return
+			}
+			s := cs.stores[i]
+			c.LoadRep(dPts.At(int(s[0])*cs.words), 8, cs.words)
+			targets := 0
+			for w := 0; w < cs.words; w++ {
+				bits := pts[s[0]][w]
+				for bits != 0 {
+					b := bits & (-bits)
+					t := int32(w*64) + int32(trailingZeros(bits))
+					addEdge(t, s[1])
+					bits ^= b
+					targets++
+				}
+			}
+			c.IntOps(4*cs.words + 3*targets)
+			if targets > 0 {
+				c.AtomicOp(dWork.At(0))
+			}
+		})
+		if len(edgeList) > before {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Independent sequential solver for validation.
+	ref := ptaSolveRef(cs)
+	for v := 0; v < cs.vars; v++ {
+		for w := 0; w < cs.words; w++ {
+			if pts[v][w] != ref[v][w] {
+				return core.Validatef(p.Name(), "points-to set of v%d differs from reference", v)
+			}
+		}
+	}
+	return nil
+}
+
+// ptaSolveRef is a straightforward worklist solver used as the oracle.
+func ptaSolveRef(cs *ptaConstraints) [][]uint64 {
+	pts := make([][]uint64, cs.vars)
+	for i := range pts {
+		pts[i] = make([]uint64, cs.words)
+	}
+	for _, a := range cs.addrOf {
+		pts[a[0]][a[1]/64] |= 1 << uint(a[1]%64)
+	}
+	edges := make(map[[2]int32]bool)
+	var list [][2]int32
+	add := func(d, s int32) {
+		k := [2]int32{d, s}
+		if !edges[k] {
+			edges[k] = true
+			list = append(list, k)
+		}
+	}
+	for _, e := range cs.copies {
+		add(e[0], e[1])
+	}
+	for {
+		changed := false
+		for _, e := range list {
+			for w := 0; w < cs.words; w++ {
+				nv := pts[e[0]][w] | pts[e[1]][w]
+				if nv != pts[e[0]][w] {
+					pts[e[0]][w] = nv
+					changed = true
+				}
+			}
+		}
+		grow := len(list)
+		for _, l := range cs.loads {
+			for w := 0; w < cs.words; w++ {
+				bits := pts[l[1]][w]
+				for bits != 0 {
+					t := int32(w*64) + int32(trailingZeros(bits))
+					add(l[0], t)
+					bits &= bits - 1
+				}
+			}
+		}
+		for _, s := range cs.stores {
+			for w := 0; w < cs.words; w++ {
+				bits := pts[s[0]][w]
+				for bits != 0 {
+					t := int32(w*64) + int32(trailingZeros(bits))
+					add(t, s[1])
+					bits &= bits - 1
+				}
+			}
+		}
+		if len(list) > grow {
+			changed = true
+		}
+		if !changed {
+			return pts
+		}
+	}
+}
+
+// trailingZeros is bits.TrailingZeros64 without the import churn at call
+// sites that mix int32 math.
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

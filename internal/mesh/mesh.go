@@ -1,0 +1,445 @@
+// Package mesh is the 2-D Delaunay triangulation substrate for the Delaunay
+// Mesh Refinement benchmark: incremental Bowyer-Watson construction, quality
+// (minimum-angle) tests, and cavity-based point insertion — the same
+// operations LonestarGPU's DMR performs on the GPU.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Point is a 2-D point.
+type Point struct{ X, Y float64 }
+
+// Tri is one triangle: vertex indices and, opposite each vertex, the
+// adjacent triangle index (-1 at the hull).
+type Tri struct {
+	V     [3]int32
+	N     [3]int32
+	Alive bool
+}
+
+// Mesh is a triangulation of a point set. The first three points are the
+// super-triangle vertices enclosing the unit square; triangles incident to
+// them form the artificial boundary and are never refined.
+type Mesh struct {
+	Pts  []Point
+	Tris []Tri
+
+	alive int // count of alive triangles
+	last  int // walking-start hint for point location
+}
+
+// Generate builds the Delaunay triangulation of n random points in the unit
+// square.
+func Generate(n int, seed uint64) *Mesh {
+	rng := xrand.New(seed)
+	m := &Mesh{}
+	// Super-triangle comfortably containing [0,1]^2.
+	m.Pts = append(m.Pts,
+		Point{-10, -8},
+		Point{11, -8},
+		Point{0.5, 12},
+	)
+	m.Tris = append(m.Tris, Tri{V: [3]int32{0, 1, 2}, N: [3]int32{-1, -1, -1}, Alive: true})
+	m.alive = 1
+	for i := 0; i < n; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		if err := m.Insert(p); err != nil {
+			// Degenerate duplicates are skipped.
+			continue
+		}
+	}
+	return m
+}
+
+// NumAlive returns the number of alive triangles.
+func (m *Mesh) NumAlive() int { return m.alive }
+
+// IsBoundary reports whether triangle t touches a super-triangle vertex.
+func (m *Mesh) IsBoundary(t int) bool {
+	for _, v := range m.Tris[t].V {
+		if v < 3 {
+			return true
+		}
+	}
+	return false
+}
+
+// MinAngleDeg returns the smallest interior angle of triangle t in degrees.
+func (m *Mesh) MinAngleDeg(t int) float64 {
+	tr := &m.Tris[t]
+	a, b, c := m.Pts[tr.V[0]], m.Pts[tr.V[1]], m.Pts[tr.V[2]]
+	la := dist(b, c)
+	lb := dist(a, c)
+	lc := dist(a, b)
+	// Law of cosines for each corner.
+	angA := math.Acos(clamp1((lb*lb + lc*lc - la*la) / (2 * lb * lc)))
+	angB := math.Acos(clamp1((la*la + lc*lc - lb*lb) / (2 * la * lc)))
+	angC := math.Pi - angA - angB
+	min := math.Min(angA, math.Min(angB, angC))
+	return min * 180 / math.Pi
+}
+
+// IsBad reports whether triangle t violates the quality bound (and is not a
+// protected boundary triangle).
+func (m *Mesh) IsBad(t int, minDeg float64) bool {
+	if !m.Tris[t].Alive || m.IsBoundary(t) {
+		return false
+	}
+	return m.MinAngleDeg(t) < minDeg
+}
+
+// BadTriangles returns the indices of all bad triangles.
+func (m *Mesh) BadTriangles(minDeg float64) []int32 {
+	var bad []int32
+	for t := range m.Tris {
+		if m.IsBad(t, minDeg) {
+			bad = append(bad, int32(t))
+		}
+	}
+	return bad
+}
+
+// CountBad returns the number of bad triangles.
+func (m *Mesh) CountBad(minDeg float64) int {
+	n := 0
+	for t := range m.Tris {
+		if m.IsBad(t, minDeg) {
+			n++
+		}
+	}
+	return n
+}
+
+// Circumcenter returns the circumcenter of triangle t.
+func (m *Mesh) Circumcenter(t int) Point {
+	tr := &m.Tris[t]
+	a, b, c := m.Pts[tr.V[0]], m.Pts[tr.V[1]], m.Pts[tr.V[2]]
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if math.Abs(d) < 1e-18 {
+		return Point{(a.X + b.X + c.X) / 3, (a.Y + b.Y + c.Y) / 3}
+	}
+	ux := ((a.X*a.X+a.Y*a.Y)*(b.Y-c.Y) + (b.X*b.X+b.Y*b.Y)*(c.Y-a.Y) + (c.X*c.X+c.Y*c.Y)*(a.Y-b.Y)) / d
+	uy := ((a.X*a.X+a.Y*a.Y)*(c.X-b.X) + (b.X*b.X+b.Y*b.Y)*(a.X-c.X) + (c.X*c.X+c.Y*c.Y)*(b.X-a.X)) / d
+	return Point{ux, uy}
+}
+
+// inCircumcircle reports whether p lies strictly inside t's circumcircle.
+func (m *Mesh) inCircumcircle(t int, p Point) bool {
+	tr := &m.Tris[t]
+	a, b, c := m.Pts[tr.V[0]], m.Pts[tr.V[1]], m.Pts[tr.V[2]]
+	ax, ay := a.X-p.X, a.Y-p.Y
+	bx, by := b.X-p.X, b.Y-p.Y
+	cx, cy := c.X-p.X, c.Y-p.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	// Orientation of (a, b, c) flips the sign convention.
+	if m.orient(tr.V[0], tr.V[1], tr.V[2]) > 0 {
+		return det > 1e-15
+	}
+	return det < -1e-15
+}
+
+func (m *Mesh) orient(i, j, k int32) float64 {
+	a, b, c := m.Pts[i], m.Pts[j], m.Pts[k]
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// contains reports whether triangle t contains p (inclusive).
+func (m *Mesh) contains(t int, p Point) bool {
+	tr := &m.Tris[t]
+	s := m.orientP(m.Pts[tr.V[0]], m.Pts[tr.V[1]], p)
+	s2 := m.orientP(m.Pts[tr.V[1]], m.Pts[tr.V[2]], p)
+	s3 := m.orientP(m.Pts[tr.V[2]], m.Pts[tr.V[0]], p)
+	neg := s < 0 || s2 < 0 || s3 < 0
+	pos := s > 0 || s2 > 0 || s3 > 0
+	return !(neg && pos)
+}
+
+func (m *Mesh) orientP(a, b, p Point) float64 {
+	return (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+}
+
+// Locate finds an alive triangle containing p by walking from the hint.
+func (m *Mesh) Locate(p Point) (int, error) {
+	t := m.last
+	if t >= len(m.Tris) || !m.Tris[t].Alive {
+		t = -1
+		for i := len(m.Tris) - 1; i >= 0; i-- {
+			if m.Tris[i].Alive {
+				t = i
+				break
+			}
+		}
+		if t < 0 {
+			return -1, fmt.Errorf("mesh: no alive triangles")
+		}
+	}
+	for steps := 0; steps < 4*len(m.Tris)+16; steps++ {
+		if m.contains(t, p) {
+			m.last = t
+			return t, nil
+		}
+		tr := &m.Tris[t]
+		moved := false
+		for e := 0; e < 3; e++ {
+			a := tr.V[(e+1)%3]
+			b := tr.V[(e+2)%3]
+			if m.orientP(m.Pts[a], m.Pts[b], p) < 0 {
+				nt := tr.N[e]
+				if nt >= 0 && m.Tris[nt].Alive {
+					t = int(nt)
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			// Fall back to exhaustive search (rare numerical corner).
+			for i := range m.Tris {
+				if m.Tris[i].Alive && m.contains(i, p) {
+					m.last = i
+					return i, nil
+				}
+			}
+			return -1, fmt.Errorf("mesh: point (%g,%g) not located", p.X, p.Y)
+		}
+	}
+	return -1, fmt.Errorf("mesh: walk did not terminate")
+}
+
+// CavityOf collects the connected set of alive triangles whose circumcircle
+// contains p, starting from triangle t (which must contain p or be part of
+// the cavity).
+func (m *Mesh) CavityOf(t int, p Point) []int32 {
+	if !m.inCircumcircle(t, p) {
+		return []int32{int32(t)}
+	}
+	seen := map[int32]bool{int32(t): true}
+	stack := []int32{int32(t)}
+	var cavity []int32
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cavity = append(cavity, cur)
+		for _, nb := range m.Tris[cur].N {
+			if nb < 0 || seen[nb] || !m.Tris[nb].Alive {
+				continue
+			}
+			if m.inCircumcircle(int(nb), p) {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return cavity
+}
+
+// Insert adds point p via Bowyer-Watson: locate, carve the cavity, and
+// retriangulate. It returns an error for points outside the triangulation.
+func (m *Mesh) Insert(p Point) error {
+	t, err := m.Locate(p)
+	if err != nil {
+		return err
+	}
+	cavity := m.CavityOf(t, p)
+	if len(cavity) == 0 {
+		return fmt.Errorf("mesh: empty cavity")
+	}
+	_, err = m.Retriangulate(cavity, p)
+	return err
+}
+
+// edgeKey canonicalizes an edge for matching.
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(uint32(b))
+}
+
+// Retriangulate kills the cavity triangles and fans new triangles from p to
+// the cavity border, wiring up all adjacency. It returns the new triangle
+// indices.
+func (m *Mesh) Retriangulate(cavity []int32, p Point) ([]int32, error) {
+	inCavity := make(map[int32]bool, len(cavity))
+	for _, c := range cavity {
+		inCavity[c] = true
+	}
+	// Border edges: edges of cavity triangles whose opposite neighbor is
+	// outside the cavity.
+	type border struct {
+		a, b    int32 // edge endpoints (oriented as in the cavity triangle)
+		outside int32 // neighbor outside the cavity (-1 at hull)
+	}
+	var edges []border
+	for _, c := range cavity {
+		tr := &m.Tris[c]
+		for e := 0; e < 3; e++ {
+			nb := tr.N[e]
+			if nb < 0 || !inCavity[nb] {
+				a := tr.V[(e+1)%3]
+				b := tr.V[(e+2)%3]
+				edges = append(edges, border{a, b, nb})
+			}
+		}
+	}
+	if len(edges) < 3 {
+		return nil, fmt.Errorf("mesh: cavity with %d border edges", len(edges))
+	}
+	// Add the new point.
+	pi := int32(len(m.Pts))
+	m.Pts = append(m.Pts, p)
+	// Kill cavity triangles.
+	for _, c := range cavity {
+		m.Tris[c].Alive = false
+	}
+	m.alive -= len(cavity)
+	// One new triangle per border edge: (p, a, b), neighbor opposite p is
+	// the outside triangle.
+	newIdx := make([]int32, len(edges))
+	for i, e := range edges {
+		idx := int32(len(m.Tris))
+		newIdx[i] = idx
+		m.Tris = append(m.Tris, Tri{
+			V:     [3]int32{pi, e.a, e.b},
+			N:     [3]int32{e.outside, -1, -1}, // N[0] opposite p
+			Alive: true,
+		})
+		// Fix the outside triangle's back-pointer across exactly this edge
+		// (an outside triangle can border the cavity on several edges).
+		if e.outside >= 0 {
+			out := &m.Tris[e.outside]
+			for k := 0; k < 3; k++ {
+				oa := out.V[(k+1)%3]
+				ob := out.V[(k+2)%3]
+				if edgeKey(oa, ob) == edgeKey(e.a, e.b) {
+					out.N[k] = idx
+					break
+				}
+			}
+		}
+	}
+	m.alive += len(edges)
+	// Wire adjacency among the new fan triangles: triangle i has edges
+	// (p, a) and (p, b); match with the sibling sharing the same spoke.
+	spoke := make(map[uint64]int32, 2*len(edges))
+	for i, e := range edges {
+		idx := newIdx[i]
+		for _, v := range []int32{e.a, e.b} {
+			k := edgeKey(pi, v)
+			if other, ok := spoke[k]; ok {
+				// Edge (p, v) shared between idx and other. In triangle
+				// (p, a, b): N[1] is opposite a (edge p-b), N[2] opposite b
+				// (edge p-a).
+				m.setFanNeighbor(idx, v, other)
+				m.setFanNeighbor(other, v, idx)
+			} else {
+				spoke[k] = idx
+			}
+		}
+	}
+	m.last = int(newIdx[0])
+	return newIdx, nil
+}
+
+// setFanNeighbor sets, in fan triangle t = (p, a, b), the neighbor across
+// the spoke edge containing vertex v.
+func (m *Mesh) setFanNeighbor(t int32, v, nb int32) {
+	tr := &m.Tris[t]
+	if tr.V[1] == v {
+		tr.N[2] = nb // edge (p, a=v) is opposite b -> N[2]
+	} else {
+		tr.N[1] = nb // edge (p, b=v) is opposite a -> N[1]
+	}
+}
+
+// CheckConsistency verifies the adjacency structure of alive triangles.
+func (m *Mesh) CheckConsistency() error {
+	for t := range m.Tris {
+		tr := &m.Tris[t]
+		if !tr.Alive {
+			continue
+		}
+		for e := 0; e < 3; e++ {
+			nb := tr.N[e]
+			if nb < 0 {
+				continue
+			}
+			if int(nb) >= len(m.Tris) {
+				return fmt.Errorf("mesh: tri %d neighbor %d out of range", t, nb)
+			}
+			if !m.Tris[nb].Alive {
+				return fmt.Errorf("mesh: tri %d points to dead neighbor %d", t, nb)
+			}
+			// Back pointer must exist.
+			back := false
+			for k := 0; k < 3; k++ {
+				if m.Tris[nb].N[k] == int32(t) {
+					back = true
+					break
+				}
+			}
+			if !back {
+				return fmt.Errorf("mesh: tri %d <-> %d adjacency asymmetric", t, nb)
+			}
+			// Shared edge must match two vertices.
+			shared := 0
+			for _, v := range tr.V {
+				for _, w := range m.Tris[nb].V {
+					if v == w {
+						shared++
+					}
+				}
+			}
+			if shared != 2 {
+				return fmt.Errorf("mesh: tri %d and %d share %d vertices", t, nb, shared)
+			}
+		}
+	}
+	return nil
+}
+
+// DelaunaySample spot-checks the Delaunay property: for sample triangles, no
+// other mesh point lies inside the circumcircle. Returns the number of
+// violations found.
+func (m *Mesh) DelaunaySample(maxTris, maxPts int) int {
+	violations := 0
+	step := len(m.Tris)/maxTris + 1
+	pstep := len(m.Pts)/maxPts + 1
+	for t := 0; t < len(m.Tris); t += step {
+		if !m.Tris[t].Alive {
+			continue
+		}
+		for pi := 3; pi < len(m.Pts); pi += pstep {
+			v := &m.Tris[t].V
+			if int32(pi) == v[0] || int32(pi) == v[1] || int32(pi) == v[2] {
+				continue
+			}
+			if m.inCircumcircle(t, m.Pts[pi]) {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+func dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func clamp1(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}

@@ -1,0 +1,203 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateConsistent(t *testing.T) {
+	m := Generate(500, 1)
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Euler-ish sanity: a triangulation of n points has ~2n triangles.
+	if m.NumAlive() < 500 || m.NumAlive() > 1200 {
+		t.Errorf("alive triangles = %d for 500 points", m.NumAlive())
+	}
+}
+
+func TestDelaunayProperty(t *testing.T) {
+	m := Generate(300, 2)
+	if v := m.DelaunaySample(100, 100); v != 0 {
+		t.Errorf("Delaunay violations: %d", v)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	m := Generate(200, 3)
+	pts := []Point{{0.5, 0.5}, {0.1, 0.9}, {0.99, 0.01}}
+	for _, p := range pts {
+		tr, err := m.Locate(p)
+		if err != nil {
+			t.Fatalf("Locate(%v): %v", p, err)
+		}
+		if !m.contains(tr, p) {
+			t.Errorf("Locate(%v) returned non-containing triangle", p)
+		}
+	}
+}
+
+func TestInsertGrowsMesh(t *testing.T) {
+	m := Generate(100, 4)
+	before := m.NumAlive()
+	if err := m.Insert(Point{0.123, 0.456}); err != nil {
+		t.Fatal(err)
+	}
+	// Cavity of size k is replaced by k+2 triangles.
+	if m.NumAlive() <= before {
+		t.Errorf("alive count %d -> %d after insert", before, m.NumAlive())
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinAngleDegRange(t *testing.T) {
+	m := Generate(300, 5)
+	for i := range m.Tris {
+		if !m.Tris[i].Alive {
+			continue
+		}
+		a := m.MinAngleDeg(i)
+		if a <= 0 || a > 60+1e-9 {
+			t.Fatalf("min angle %f out of (0, 60]", a)
+		}
+	}
+}
+
+func TestRefinementImprovesQuality(t *testing.T) {
+	m := Generate(400, 6)
+	const bound = 25.0
+	before := m.CountBad(bound)
+	if before == 0 {
+		t.Skip("mesh already good (unlikely)")
+	}
+	// Chew-style refinement: insert circumcenters of bad triangles.
+	for round := 0; round < 60; round++ {
+		bad := m.BadTriangles(bound)
+		if len(bad) == 0 {
+			break
+		}
+		processed := false
+		for _, b := range bad {
+			if !m.Tris[b].Alive || !m.IsBad(int(b), bound) {
+				continue
+			}
+			cc := m.Circumcenter(int(b))
+			// Keep inserts inside the domain region.
+			if cc.X < -1 || cc.X > 2 || cc.Y < -1 || cc.Y > 2 {
+				continue
+			}
+			tloc, err := m.Locate(cc)
+			if err != nil {
+				continue
+			}
+			cavity := m.CavityOf(tloc, cc)
+			if _, err := m.Retriangulate(cavity, cc); err != nil {
+				continue
+			}
+			processed = true
+		}
+		if !processed {
+			break
+		}
+	}
+	after := m.CountBad(bound)
+	if after >= before {
+		t.Errorf("bad triangles %d -> %d; refinement did not help", before, after)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	m := Generate(50, 7)
+	for i := range m.Tris {
+		if !m.Tris[i].Alive || m.IsBoundary(i) {
+			continue
+		}
+		cc := m.Circumcenter(i)
+		v := m.Tris[i].V
+		d0 := dist(cc, m.Pts[v[0]])
+		d1 := dist(cc, m.Pts[v[1]])
+		d2 := dist(cc, m.Pts[v[2]])
+		if math.Abs(d0-d1) > 1e-6*(1+d0) || math.Abs(d0-d2) > 1e-6*(1+d0) {
+			t.Fatalf("circumcenter not equidistant: %g %g %g", d0, d1, d2)
+		}
+	}
+}
+
+func TestPropertyInsertKeepsConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := Generate(60, seed%1000)
+		r := seed
+		for k := 0; k < 5; k++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			x := float64(r>>40) / float64(1<<24)
+			r = r*6364136223846793005 + 1442695040888963407
+			y := float64(r>>40) / float64(1<<24)
+			if err := m.Insert(Point{x, y}); err != nil {
+				return false
+			}
+		}
+		return m.CheckConsistency() == nil && m.DelaunaySample(40, 40) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeKeySymmetric(t *testing.T) {
+	if edgeKey(3, 9) != edgeKey(9, 3) {
+		t.Error("edgeKey not symmetric")
+	}
+	if edgeKey(3, 9) == edgeKey(3, 10) {
+		t.Error("edgeKey collision")
+	}
+}
+
+func TestBadTrianglesConsistentWithCount(t *testing.T) {
+	m := Generate(200, 9)
+	bad := m.BadTriangles(25)
+	if len(bad) != m.CountBad(25) {
+		t.Errorf("BadTriangles %d != CountBad %d", len(bad), m.CountBad(25))
+	}
+	for _, b := range bad {
+		if !m.IsBad(int(b), 25) {
+			t.Errorf("listed triangle %d is not bad", b)
+		}
+	}
+}
+
+func TestBoundaryNeverBad(t *testing.T) {
+	m := Generate(100, 10)
+	for i := range m.Tris {
+		if m.Tris[i].Alive && m.IsBoundary(i) && m.IsBad(i, 60) {
+			t.Fatalf("boundary triangle %d reported bad", i)
+		}
+	}
+}
+
+func TestCavityContainsLocatedTriangle(t *testing.T) {
+	m := Generate(150, 11)
+	p := Point{0.4, 0.6}
+	loc, err := m.Locate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cavity := m.CavityOf(loc, p)
+	found := false
+	for _, c := range cavity {
+		if int(c) == loc {
+			found = true
+		}
+		if !m.Tris[c].Alive {
+			t.Fatalf("cavity contains dead triangle %d", c)
+		}
+	}
+	if !found {
+		t.Error("cavity does not contain the located triangle")
+	}
+}

@@ -1,0 +1,34 @@
+package parboil
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLBMWeightsNormalized: the D3Q19 weights sum to 1 and the velocity set
+// is symmetric (every direction has its opposite) — the properties mass and
+// momentum conservation rest on.
+func TestLBMWeightsNormalized(t *testing.T) {
+	var sum float64
+	for _, w := range lbmWeights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %g", sum)
+	}
+	for q, d := range lbmDirs {
+		found := false
+		for p, e := range lbmDirs {
+			if e[0] == -d[0] && e[1] == -d[1] && e[2] == -d[2] {
+				if math.Abs(lbmWeights[p]-lbmWeights[q]) > 1e-15 {
+					t.Fatalf("opposite directions %d/%d have different weights", q, p)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("direction %d has no opposite", q)
+		}
+	}
+}

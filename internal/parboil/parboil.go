@@ -1,0 +1,26 @@
+// Package parboil implements the nine Parboil benchmarks the paper studies:
+// BFS, Coulombic potential, saturating histogram, Lattice-Boltzmann fluid
+// dynamics, MRI Q-matrix computation, sum of absolute differences, dense
+// matrix multiply, 3-D stencil, and the two-point angular correlation
+// function. The suite mixes bandwidth-bound streaming codes (LBM, STEN) with
+// compute-bound kernels (SGEMM, MRIQ, CUTCP), which in the paper mostly show
+// little runtime change at the 614 MHz configuration but large changes when
+// the memory clock drops.
+package parboil
+
+import "repro/internal/core"
+
+// Programs returns the Parboil programs in the paper's Table 1 order.
+func Programs() []core.Program {
+	return []core.Program{
+		NewPBFS(),
+		NewCUTCP(),
+		NewHisto(),
+		NewLBM(),
+		NewMRIQ(),
+		NewSAD(),
+		NewSGEMM(),
+		NewStencil(),
+		NewTPACF(),
+	}
+}

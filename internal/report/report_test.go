@@ -1,0 +1,150 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/k20power"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+)
+
+func TestTable1Render(t *testing.T) {
+	var b strings.Builder
+	Table1(&b, []core.Table1Row{
+		{Name: "NB", Suite: core.SuiteSDK, Kernels: 1, Inputs: []string{"100k", "1m"}},
+	})
+	out := b.String()
+	for _, want := range []string{"Table 1", "NB", "CUDA SDK", "100k, 1m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	var b strings.Builder
+	Table2(&b, []core.Table2Row{
+		{Suite: "Overall", MaxTime: 0.087, MaxEnergy: 0.072, AvgTime: 0.014, AvgEnergy: 0.020},
+	})
+	out := b.String()
+	if !strings.Contains(out, "8.7%") || !strings.Contains(out, "2.0%") {
+		t.Errorf("percentages not rendered:\n%s", out)
+	}
+}
+
+func TestFigureRatiosRender(t *testing.T) {
+	var b strings.Builder
+	row := core.FigRatioRow{
+		Suite:  core.SuiteLonestar,
+		Time:   stats.Box{Min: 0.9, Q1: 1, Median: 1.1, Q3: 1.2, Max: 1.25},
+		Energy: stats.Box{Min: 0.9, Q1: 0.92, Median: 0.94, Q3: 0.96, Max: 1.0},
+		Power:  stats.Box{Min: 0.8, Q1: 0.85, Median: 0.9, Q3: 0.92, Max: 0.95},
+		Entries: []core.RatioEntry{
+			{Program: "MST", Time: 1.25, Energy: 1.08, Power: 0.84},
+		},
+		Excluded: []string{"DMR"},
+	}
+	FigureRatios(&b, "Figure 2: test", []core.FigRatioRow{row})
+	out := b.String()
+	for _, want := range []string{"Figure 2", "LonestarGPU", "MST", "excluded", "DMR", "0.90/"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	var b strings.Builder
+	Table3(&b, []core.Table3Row{
+		{Base: "L-BFS", Variant: "atomic", Config: "default", Time: 0.31, Energy: 0.27, Power: 0.85},
+	}, []string{"L-BFS-wlc@default"})
+	out := b.String()
+	if !strings.Contains(out, "atomic") || !strings.Contains(out, "0.31") ||
+		!strings.Contains(out, "not measurable") {
+		t.Errorf("table 3 render wrong:\n%s", out)
+	}
+}
+
+func TestTable4Render(t *testing.T) {
+	var b strings.Builder
+	Table4(&b, []core.Table4Row{
+		{Name: "L-BFS", TimeVert: 0.13, EnergyVert: 13.61, PowerVert: 3.78,
+			TimeEdge: 0.05, EnergyEdge: 5.25, PowerEdge: 1.46, Vertices: 1, Edges: 1},
+	})
+	out := b.String()
+	if !strings.Contains(out, "per 100k processed vertices") || !strings.Contains(out, "13.61") {
+		t.Errorf("table 4 render wrong:\n%s", out)
+	}
+}
+
+func TestFigure5And6Render(t *testing.T) {
+	var b strings.Builder
+	Figure5(&b, []core.Fig5Row{
+		{Program: "NB", Suite: core.SuiteSDK, From: "100k", To: "1m", Power: 1.22},
+		{Program: "BH", Suite: core.SuiteLonestar, From: "a", To: "b", Power: 0.9},
+	})
+	out := b.String()
+	if !strings.Contains(out, "1.220") || !strings.Contains(out, "(decrease)") {
+		t.Errorf("figure 5 render wrong:\n%s", out)
+	}
+	b.Reset()
+	Figure6(&b, []core.Fig6Row{
+		{Suite: core.SuiteSDK, Config: "default", Power: stats.Box{Min: 60, Median: 100, Max: 160}},
+	})
+	if !strings.Contains(b.String(), "Figure 6") {
+		t.Error("figure 6 render wrong")
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	var b strings.Builder
+	samples := []sensor.Sample{{T: 0, W: 25}, {T: 1, W: 80}, {T: 2, W: 85}, {T: 3, W: 25}}
+	m := k20power.Measurement{ActiveTime: 2, Energy: 165, AvgPower: 82.5, ThresholdW: 40, IdleW: 25}
+	Figure1(&b, samples, m)
+	out := b.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "threshold") {
+		t.Errorf("figure 1 render wrong:\n%s", out)
+	}
+	b.Reset()
+	Figure1(&b, nil, m)
+	if !strings.Contains(b.String(), "no samples") {
+		t.Error("empty profile not handled")
+	}
+}
+
+func TestBoxPlotRender(t *testing.T) {
+	var b strings.Builder
+	rows := []core.FigRatioRow{
+		{
+			Suite:  core.SuiteSDK,
+			Time:   stats.Box{Min: 1.0, Q1: 1.05, Median: 1.11, Q3: 1.14, Max: 1.17},
+			Energy: stats.Box{Min: 0.91, Q1: 0.93, Median: 0.94, Q3: 0.95, Max: 0.97},
+			Power:  stats.Box{Min: 0.81, Q1: 0.82, Median: 0.85, Q3: 0.89, Max: 0.92},
+		},
+		{
+			Suite:  core.SuiteLonestar,
+			Time:   stats.Box{Min: 0.99, Q1: 1.01, Median: 1.04, Q3: 1.07, Max: 1.08},
+			Energy: stats.Box{Min: 0.89, Q1: 0.93, Median: 0.95, Q3: 0.96, Max: 1.0},
+			Power:  stats.Box{Min: 0.82, Q1: 0.91, Median: 0.93, Q3: 0.94, Max: 0.95},
+		},
+	}
+	BoxPlot(&b, "Figure 2 (plot)", rows)
+	out := b.String()
+	if !strings.Contains(out, "M") || !strings.Contains(out, "=") || !strings.Contains(out, "CUDA SDK") {
+		t.Errorf("box plot render missing elements:\n%s", out)
+	}
+	// The median marker must sit inside the quartile band for each row.
+	for _, line := range strings.Split(out, "\n") {
+		mi := strings.IndexByte(line, 'M')
+		if mi < 0 {
+			continue
+		}
+		q1 := strings.IndexByte(line, '=')
+		q3 := strings.LastIndexByte(line, '=')
+		if q1 >= 0 && (mi < q1-1 || mi > q3+1) {
+			t.Errorf("median outside quartile band: %q", line)
+		}
+	}
+}

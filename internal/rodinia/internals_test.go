@@ -1,0 +1,92 @@
+package rodinia
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestMUMReadsMatchReference: the suffix-tree walk and the brute-force
+// reference agree for every query start (stronger than the sampled check in
+// Run).
+func TestMUMReadsMatchReference(t *testing.T) {
+	ref := randDNA(600, 7)
+	st := newSuffixTree(ref)
+	rng := xrand.New(9)
+	for q := 0; q < 20; q++ {
+		read := randDNA(50, rng.Uint64())
+		for from := 0; from < len(read); from += 5 {
+			got, _ := st.matchLen(read, from)
+			want := naiveMatchLenRef(ref, read, from)
+			if got != want {
+				t.Fatalf("query %d from %d: %d != %d", q, from, got, want)
+			}
+		}
+	}
+}
+
+// TestNWScoreSymmetry: aligning a sequence against itself must yield the
+// maximal score (all matches).
+func TestNWScoreSymmetry(t *testing.T) {
+	n := 64
+	rng := xrand.New(3)
+	seq := make([]int32, n)
+	for i := range seq {
+		seq[i] = int32(rng.Intn(4))
+	}
+	score := func(a, b int32) int32 {
+		if a == b {
+			return 3
+		}
+		return -2
+	}
+	dp := make([]int32, (n+1)*(n+1))
+	for i := 0; i <= n; i++ {
+		dp[i*(n+1)] = int32(i * nwPenalty)
+		dp[i] = int32(i * nwPenalty)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			up := dp[(i-1)*(n+1)+j] + nwPenalty
+			left := dp[i*(n+1)+j-1] + nwPenalty
+			diag := dp[(i-1)*(n+1)+j-1] + score(seq[j-1], seq[i-1])
+			best := up
+			if left > best {
+				best = left
+			}
+			if diag > best {
+				best = diag
+			}
+			dp[i*(n+1)+j] = best
+		}
+	}
+	if dp[n*(n+1)+n] != int32(3*n) {
+		t.Errorf("self-alignment score %d, want %d", dp[n*(n+1)+n], 3*n)
+	}
+}
+
+// TestGEDiagonalDominance: the generated system is diagonally dominant, the
+// property that lets the benchmark skip pivoting.
+func TestGEDiagonalDominance(t *testing.T) {
+	rng := xrand.New(xrand.HashString("gaussian"))
+	n := geN
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = rng.Float64() - 0.5
+		}
+		a[i*n+i] += float64(n)
+	}
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(a[i*n+j])
+			}
+		}
+		if math.Abs(a[i*n+i]) <= off/2 {
+			t.Fatalf("row %d not strongly dominant: |diag| %.1f vs off-sum %.1f", i, math.Abs(a[i*n+i]), off)
+		}
+	}
+}

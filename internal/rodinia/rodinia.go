@@ -1,0 +1,21 @@
+// Package rodinia implements the seven Rodinia benchmarks the paper
+// studies: back propagation, breadth-first search, Gaussian elimination,
+// MUMmerGPU sequence alignment, nearest neighbors, Needleman-Wunsch, and
+// PathFinder. Most are memory bound; three of them (R-BFS, GE, NW per the
+// paper's Figure 4) show the most drastic runtime increases under ECC.
+package rodinia
+
+import "repro/internal/core"
+
+// Programs returns the Rodinia programs in the paper's Table 1 order.
+func Programs() []core.Program {
+	return []core.Program{
+		NewBP(),
+		NewRBFS(),
+		NewGE(),
+		NewMUM(),
+		NewNN(),
+		NewNW(),
+		NewPF(),
+	}
+}

@@ -1,0 +1,130 @@
+package rodinia
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kepler"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func TestProgramsMetadata(t *testing.T) {
+	progs := Programs()
+	if len(progs) != 7 {
+		t.Fatalf("Rodinia suite has %d programs, want 7", len(progs))
+	}
+	wantKernels := map[string]int{
+		"BP": 2, "R-BFS": 2, "GE": 2, "MUM": 3, "NN": 1, "NW": 2, "PF": 1,
+	}
+	for _, p := range progs {
+		if p.Suite() != core.SuiteRodinia {
+			t.Errorf("%s: suite %s", p.Name(), p.Suite())
+		}
+		if k, ok := wantKernels[p.Name()]; !ok || p.KernelCount() != k {
+			t.Errorf("%s: kernels = %d, want %d (Table 1)", p.Name(), p.KernelCount(), wantKernels[p.Name()])
+		}
+	}
+}
+
+func TestAllRunAndValidate(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			dev := sim.NewDevice(kepler.Default)
+			if err := p.Run(dev, p.DefaultInput()); err != nil {
+				t.Fatal(err)
+			}
+			if dev.ActiveTime() <= 0 {
+				t.Fatal("no active time")
+			}
+		})
+	}
+}
+
+func TestRBFSItems(t *testing.T) {
+	v, e := NewRBFS().Items("1m")
+	if v <= 0 || e <= 0 {
+		t.Fatal("no items")
+	}
+}
+
+func TestMUMInputsDiffer(t *testing.T) {
+	p := NewMUM()
+	short := sim.NewDevice(kepler.Default)
+	long := sim.NewDevice(kepler.Default)
+	if err := p.Run(short, "25bp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(long, "100bp"); err != nil {
+		t.Fatal(err)
+	}
+	if long.ActiveTime() <= short.ActiveTime() {
+		t.Error("100bp reads should take longer than 25bp")
+	}
+}
+
+func TestCalibrationDump(t *testing.T) {
+	if os.Getenv("GPUCHAR_CALIB") == "" {
+		t.Skip("informational calibration dump; set GPUCHAR_CALIB=1 to run")
+	}
+	for _, p := range Programs() {
+		for _, clk := range kepler.Configs {
+			dev := sim.NewDevice(clk)
+			if err := p.Run(dev, p.DefaultInput()); err != nil {
+				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
+			}
+			at := dev.ActiveTime()
+			e := power.ActiveEnergy(dev)
+			fmt.Printf("%-6s %-8s active %8.2f s  power %7.2f W\n", p.Name(), clk.Name, at, e/at)
+		}
+	}
+}
+
+func TestShortProgramsRunAndValidate(t *testing.T) {
+	for _, p := range []core.Program{NewHotspot(), NewKmeans()} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			dev := sim.NewDevice(kepler.Default)
+			if err := p.Run(dev, p.DefaultInput()); err != nil {
+				t.Fatal(err)
+			}
+			// The whole point: runtimes far too short for the sensor.
+			if dev.ActiveTime() > 1.0 {
+				t.Errorf("%s active time %.2fs; expected well under a second", p.Name(), dev.ActiveTime())
+			}
+		})
+	}
+}
+
+func TestAllInputVariantsOfMultiInputPrograms(t *testing.T) {
+	for _, spec := range []struct{ name, input string }{
+		{"R-BFS", "100k"}, {"NW", "4096"}, {"PF", "200k-200-40"}, {"MUM", "25bp"},
+	} {
+		spec := spec
+		t.Run(spec.name+"/"+spec.input, func(t *testing.T) {
+			t.Parallel()
+			p, err := progByName(spec.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := sim.NewDevice(kepler.Default)
+			if err := p.Run(dev, spec.input); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// progByName finds a program within this suite.
+func progByName(name string) (core.Program, error) {
+	for _, p := range Programs() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("no program %q", name)
+}

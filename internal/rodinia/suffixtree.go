@@ -1,0 +1,131 @@
+package rodinia
+
+// suffixTree is an Ukkonen-built suffix tree over a byte string. MUMmerGPU
+// stores the reference sequence as a suffix tree on the GPU and walks it
+// per query; we build the same structure on the host (as MUMmerGPU does)
+// and the kernel mirrors the per-query walk.
+type suffixTree struct {
+	text []byte
+	// Nodes. Node 0 is the root.
+	next  []map[byte]int32 // child by first edge character
+	start []int32          // edge label start in text
+	end   []int32          // edge label end (exclusive); -1 = open leaf
+	link  []int32          // suffix link
+}
+
+// newSuffixTree builds the suffix tree of text (a unique terminator is
+// appended internally), using Ukkonen's online algorithm.
+func newSuffixTree(text []byte) *suffixTree {
+	t := &suffixTree{text: append(append([]byte(nil), text...), 0)}
+	t.addNode(0, 0) // root
+
+	var (
+		activeNode int32
+		activeEdge int32 // index in text of the active edge's first char
+		activeLen  int32
+		remainder  int32
+	)
+	n := int32(len(t.text))
+	for pos := int32(0); pos < n; pos++ {
+		lastNew := int32(-1)
+		remainder++
+		for remainder > 0 {
+			if activeLen == 0 {
+				activeEdge = pos
+			}
+			child, ok := t.next[activeNode][t.text[activeEdge]]
+			if !ok {
+				// Rule 2a: new leaf straight off the active node.
+				leaf := t.addNode(pos, -1)
+				t.next[activeNode][t.text[activeEdge]] = leaf
+				if lastNew >= 0 {
+					t.link[lastNew] = activeNode
+					lastNew = -1
+				}
+			} else {
+				// Walk down if the active length covers the edge.
+				edgeLen := t.edgeLen(child, pos+1)
+				if activeLen >= edgeLen {
+					activeNode = child
+					activeEdge += edgeLen
+					activeLen -= edgeLen
+					continue
+				}
+				if t.text[t.start[child]+activeLen] == t.text[pos] {
+					// Rule 3: already present; extend the active point.
+					if lastNew >= 0 && activeNode != 0 {
+						t.link[lastNew] = activeNode
+						lastNew = -1
+					}
+					activeLen++
+					break
+				}
+				// Rule 2b: split the edge and add a leaf.
+				split := t.addNode(t.start[child], t.start[child]+activeLen)
+				t.next[activeNode][t.text[activeEdge]] = split
+				leaf := t.addNode(pos, -1)
+				t.next[split][t.text[pos]] = leaf
+				t.start[child] += activeLen
+				t.next[split][t.text[t.start[child]]] = child
+				if lastNew >= 0 {
+					t.link[lastNew] = split
+				}
+				lastNew = split
+			}
+			remainder--
+			if activeNode == 0 && activeLen > 0 {
+				activeLen--
+				activeEdge = pos - remainder + 1
+			} else if activeNode != 0 {
+				activeNode = t.link[activeNode]
+			}
+		}
+	}
+	return t
+}
+
+func (t *suffixTree) addNode(start, end int32) int32 {
+	t.next = append(t.next, make(map[byte]int32, 2))
+	t.start = append(t.start, start)
+	t.end = append(t.end, end)
+	t.link = append(t.link, 0)
+	return int32(len(t.next) - 1)
+}
+
+func (t *suffixTree) edgeLen(node, pos int32) int32 {
+	e := t.end[node]
+	if e < 0 || e > pos {
+		e = pos
+	}
+	return e - t.start[node]
+}
+
+// nodes returns the node count (for sizing device mirrors).
+func (t *suffixTree) nodes() int { return len(t.next) }
+
+// matchLen walks the tree from the root matching query[from:] and returns
+// the length of the longest prefix that occurs in the text, along with the
+// number of tree nodes visited (the kernel's pointer-chasing cost).
+func (t *suffixTree) matchLen(query []byte, from int) (length, hops int) {
+	node := int32(0)
+	i := from
+	for i < len(query) {
+		child, ok := t.next[node][query[i]]
+		if !ok {
+			return i - from, hops
+		}
+		hops++
+		e := t.end[child]
+		if e < 0 {
+			e = int32(len(t.text))
+		}
+		for p := t.start[child]; p < e && i < len(query); p++ {
+			if t.text[p] != query[i] {
+				return i - from, hops
+			}
+			i++
+		}
+		node = child
+	}
+	return len(query) - from, hops
+}

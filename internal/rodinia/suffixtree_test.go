@@ -1,0 +1,94 @@
+package rodinia
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatchLen is the brute-force longest prefix of q[from:] occurring in
+// text.
+func naiveMatchLen(text, q []byte, from int) int {
+	best := 0
+	for l := 1; l <= len(q)-from; l++ {
+		if bytes.Contains(text, q[from:from+l]) {
+			best = l
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+func TestSuffixTreeBasic(t *testing.T) {
+	text := []byte("banana")
+	st := newSuffixTree(text)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"banana", 6},
+		{"ana", 3},
+		{"nana", 4},
+		{"banab", 4},
+		{"xyz", 0},
+		{"a", 1},
+	}
+	for _, c := range cases {
+		got, _ := st.matchLen([]byte(c.q), 0)
+		if got != c.want {
+			t.Errorf("matchLen(%q) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSuffixTreeAllSuffixesPresent(t *testing.T) {
+	text := randDNA(300, 42)
+	st := newSuffixTree(text)
+	for from := 0; from < len(text); from++ {
+		got, _ := st.matchLen(text, from)
+		if got != len(text)-from {
+			t.Fatalf("suffix at %d: matched %d of %d", from, got, len(text)-from)
+		}
+	}
+}
+
+func TestSuffixTreeMatchesNaive(t *testing.T) {
+	text := randDNA(500, 7)
+	st := newSuffixTree(text)
+	for seed := uint64(0); seed < 30; seed++ {
+		q := randDNA(40, 1000+seed)
+		for from := 0; from < len(q); from += 7 {
+			got, _ := st.matchLen(q, from)
+			want := naiveMatchLen(text, q, from)
+			if got != want {
+				t.Fatalf("query %d from %d: matchLen %d, naive %d", seed, from, got, want)
+			}
+		}
+	}
+}
+
+func TestSuffixTreePropertyRandomTexts(t *testing.T) {
+	f := func(seed uint64) bool {
+		text := randDNA(int(seed%200)+20, seed)
+		st := newSuffixTree(text)
+		q := randDNA(25, seed^0xabcdef)
+		got, hops := st.matchLen(q, 0)
+		if hops < 0 {
+			return false
+		}
+		return got == naiveMatchLen(text, q, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixTreeNodeCountLinear(t *testing.T) {
+	text := randDNA(1000, 3)
+	st := newSuffixTree(text)
+	// A suffix tree has at most 2n nodes.
+	if st.nodes() > 2*(len(text)+1)+2 {
+		t.Errorf("node count %d exceeds 2n for n=%d", st.nodes(), len(text)+1)
+	}
+}

@@ -1,0 +1,19 @@
+// Package sdk implements the four CUDA SDK sample programs the paper
+// studies: the two Monte-Carlo pi estimators (inline and batched PRNG), the
+// all-pairs n-body simulation, and the parallel prefix sum. These are the
+// paper's regular, mostly compute-bound codes: they draw the highest power
+// (about 100 W on average on the K20c) and respond strongly to core-clock
+// changes but barely to ECC or memory-clock changes.
+package sdk
+
+import "repro/internal/core"
+
+// Programs returns the CUDA SDK programs in the paper's Table 1 order.
+func Programs() []core.Program {
+	return []core.Program{
+		NewEIP(),
+		NewEP(),
+		NewNBody(),
+		NewScan(),
+	}
+}

@@ -1,0 +1,95 @@
+package sdk
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kepler"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func TestProgramsMetadata(t *testing.T) {
+	progs := Programs()
+	if len(progs) != 4 {
+		t.Fatalf("SDK suite has %d programs, want 4", len(progs))
+	}
+	wantKernels := map[string]int{"EIP": 2, "EP": 2, "NB": 1, "SC": 3}
+	for _, p := range progs {
+		if p.Suite() != core.SuiteSDK {
+			t.Errorf("%s: suite %s", p.Name(), p.Suite())
+		}
+		if k, ok := wantKernels[p.Name()]; !ok || p.KernelCount() != k {
+			t.Errorf("%s: kernels = %d, want %d (Table 1)", p.Name(), p.KernelCount(), k)
+		}
+		if len(p.Inputs()) == 0 || p.DefaultInput() == "" {
+			t.Errorf("%s: missing inputs", p.Name())
+		}
+		if p.Irregular() {
+			t.Errorf("%s: SDK codes are regular", p.Name())
+		}
+	}
+}
+
+func TestAllRunAndValidate(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			dev := sim.NewDevice(kepler.Default)
+			if err := p.Run(dev, p.DefaultInput()); err != nil {
+				t.Fatal(err)
+			}
+			if len(dev.Launches) == 0 {
+				t.Fatal("no kernels launched")
+			}
+			if dev.ActiveTime() <= 0 {
+				t.Fatal("no active time")
+			}
+		})
+	}
+}
+
+func TestNBodyAllInputs(t *testing.T) {
+	p := NewNBody()
+	var prev float64
+	for _, in := range p.Inputs() {
+		dev := sim.NewDevice(kepler.Default)
+		if err := p.Run(dev, in); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		at := dev.ActiveTime()
+		if at <= prev {
+			t.Errorf("active time not increasing with input size: %s -> %.2f s (prev %.2f)", in, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestUnknownInputRejected(t *testing.T) {
+	for _, p := range Programs() {
+		dev := sim.NewDevice(kepler.Default)
+		if err := p.Run(dev, "no-such-input"); err == nil {
+			t.Errorf("%s: unknown input accepted", p.Name())
+		}
+	}
+}
+
+// TestCalibrationDump prints runtime/power per config (informational).
+func TestCalibrationDump(t *testing.T) {
+	if os.Getenv("GPUCHAR_CALIB") == "" {
+		t.Skip("informational calibration dump; set GPUCHAR_CALIB=1 to run")
+	}
+	for _, p := range Programs() {
+		for _, clk := range kepler.Configs {
+			dev := sim.NewDevice(clk)
+			if err := p.Run(dev, p.DefaultInput()); err != nil {
+				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
+			}
+			at := dev.ActiveTime()
+			e := power.ActiveEnergy(dev)
+			fmt.Printf("%-4s %-8s active %8.2f s  power %7.2f W\n", p.Name(), clk.Name, at, e/at)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sensor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes samples as "seconds,watts" lines with a header comment —
+// the interchange format of the k20power command.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# seconds,watts"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(bw, "%.3f,%.3f\n", s.T, s.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a "seconds,watts" log. Blank lines and lines starting with
+// '#' are skipped; malformed lines are reported with their line number.
+func ReadCSV(r io.Reader) ([]Sample, error) {
+	var samples []Sample
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("sensor: line %d: want 'seconds,watts', got %q", line, text)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sensor: line %d: bad time: %v", line, err)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sensor: line %d: bad watts: %v", line, err)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("sensor: line %d: negative power", line)
+		}
+		samples = append(samples, Sample{T: t, W: w})
+	}
+	return samples, sc.Err()
+}

@@ -1,0 +1,79 @@
+package shoc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// TestGreedyClusterDiameter: any cluster grown by greedyCluster respects
+// the QT diameter threshold and always contains its seed.
+func TestGreedyClusterDiameter(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 60
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.Float64() * 10
+		}
+		dist := func(a, b int) float64 {
+			dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+			return math.Sqrt(dx*dx + dy*dy)
+		}
+		seedPt := int(seed % uint64(n))
+		var candidates []int
+		for j := 0; j < n; j++ {
+			if j != seedPt && dist(seedPt, j) <= qtcThreshold {
+				candidates = append(candidates, j)
+			}
+		}
+		members := greedyCluster(seedPt, candidates, dist)
+		if len(members) == 0 || members[0] != seedPt {
+			return false
+		}
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				if dist(members[a], members[b]) > qtcThreshold+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyClusterMonotoneInCandidates: removing candidates can only
+// shrink the grown cluster (the property that makes QT's round sizes
+// non-increasing).
+func TestGreedyClusterMonotoneInCandidates(t *testing.T) {
+	rng := xrand.New(5)
+	n := 50
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 4
+		ys[i] = rng.Float64() * 4
+	}
+	dist := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	var candidates []int
+	for j := 1; j < n; j++ {
+		if dist(0, j) <= qtcThreshold {
+			candidates = append(candidates, j)
+		}
+	}
+	full := greedyCluster(0, candidates, dist)
+	half := greedyCluster(0, candidates[:len(candidates)/2], dist)
+	if len(half) > len(full) {
+		t.Errorf("fewer candidates grew a bigger cluster: %d > %d", len(half), len(full))
+	}
+}

@@ -1,0 +1,23 @@
+// Package shoc implements the seven SHOC benchmarks the paper studies:
+// breadth-first search, FFT, the MaxFlops throughput microbenchmark,
+// Lennard-Jones molecular dynamics, quality-threshold clustering, radix
+// sort, and the 2-D nine-point stencil. SHOC's BFS is the notoriously
+// inefficient implementation that anchors the worst column of the paper's
+// cross-suite BFS comparison (Table 4), while MaxFlops anchors the peak
+// power numbers.
+package shoc
+
+import "repro/internal/core"
+
+// Programs returns the SHOC programs in the paper's Table 1 order.
+func Programs() []core.Program {
+	return []core.Program{
+		NewSBFS(),
+		NewFFT(),
+		NewMF(),
+		NewMD(),
+		NewQTC(),
+		NewST(),
+		NewS2D(),
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import "repro/internal/trace"
+
+// Ctx is the per-thread execution context passed to kernel functions. It
+// identifies the thread within the launch and records the hardware
+// operations the thread issues. Kernel functions perform the program's real
+// computation in Go while mirroring each hardware-relevant step through the
+// recording methods.
+type Ctx struct {
+	// Block is the thread-block index within the grid.
+	Block int
+	// Thread is the thread index within the block.
+	Thread int
+	// BlockDim is the number of threads per block.
+	BlockDim int
+	// GridDim is the number of blocks in the grid.
+	GridDim int
+
+	lane *trace.LaneLog
+}
+
+// TID returns the global thread index Block*BlockDim + Thread.
+func (c *Ctx) TID() int { return c.Block*c.BlockDim + c.Thread }
+
+// Lane returns the lane index within the warp.
+func (c *Ctx) Lane() int { return c.Thread % 32 }
+
+// Warp returns the warp index within the block.
+func (c *Ctx) Warp() int { return c.Thread / 32 }
+
+// IntOps records n integer/logic/address-arithmetic operations.
+func (c *Ctx) IntOps(n int) { c.lane.Compute(trace.KindInt, n) }
+
+// FP32Ops records n single-precision floating-point operations.
+func (c *Ctx) FP32Ops(n int) { c.lane.Compute(trace.KindFP32, n) }
+
+// FP64Ops records n double-precision floating-point operations.
+func (c *Ctx) FP64Ops(n int) { c.lane.Compute(trace.KindFP64, n) }
+
+// SFUOps records n special-function operations (sin, cos, exp, rsqrt, ...).
+func (c *Ctx) SFUOps(n int) { c.lane.Compute(trace.KindSFU, n) }
+
+// Load records a global-memory read of size bytes at addr.
+func (c *Ctx) Load(addr Addr, size int) { c.lane.Global(trace.KindLoad, addr, size) }
+
+// Store records a global-memory write of size bytes at addr.
+func (c *Ctx) Store(addr Addr, size int) { c.lane.Global(trace.KindStore, addr, size) }
+
+// LoadRep records rep back-to-back global reads with the warp layout of the
+// one at addr (a regular strided loop compressed into one record).
+func (c *Ctx) LoadRep(addr Addr, size, rep int) { c.lane.GlobalRep(trace.KindLoad, addr, size, rep) }
+
+// StoreRep records rep back-to-back global writes with the warp layout of
+// the one at addr.
+func (c *Ctx) StoreRep(addr Addr, size, rep int) { c.lane.GlobalRep(trace.KindStore, addr, size, rep) }
+
+// SharedAccess records a shared-memory access at byte offset off within the
+// block's shared memory.
+func (c *Ctx) SharedAccess(off uint64) { c.lane.Shared(off) }
+
+// SharedAccessRep records rep shared-memory accesses with the bank layout of
+// the one at off.
+func (c *Ctx) SharedAccessRep(off uint64, rep int) { c.lane.SharedRep(off, rep) }
+
+// AtomicOp records a global atomic read-modify-write on addr.
+func (c *Ctx) AtomicOp(addr Addr) { c.lane.Atomic(addr) }
+
+// SyncThreads records a block-wide barrier.
+func (c *Ctx) SyncThreads() { c.lane.Sync() }
+
+// ThreadFunc is the body of a kernel, executed once per thread.
+type ThreadFunc func(c *Ctx)

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"repro/internal/kepler"
+	"repro/internal/trace"
+)
+
+// LaunchSpec describes the shape of a kernel launch.
+type LaunchSpec struct {
+	Name           string
+	Grid           int // number of thread blocks
+	Block          int // threads per block
+	SharedPerBlock int // shared-memory bytes per block
+}
+
+// Launch executes a kernel of grid x block threads and returns its record.
+// Thread blocks run sequentially in a deterministic, configuration-dependent
+// order (see Device docs); within a block, warps run in order and the 32
+// lanes of a warp run lane 0 first. The kernel function performs the real
+// computation and records hardware operations through the Ctx.
+func (d *Device) Launch(name string, grid, block int, fn ThreadFunc) *Launch {
+	return d.LaunchSpec(LaunchSpec{Name: name, Grid: grid, Block: block}, fn)
+}
+
+// LaunchShared is Launch with a shared-memory allocation per block.
+func (d *Device) LaunchShared(name string, grid, block, sharedPerBlock int, fn ThreadFunc) *Launch {
+	return d.LaunchSpec(LaunchSpec{Name: name, Grid: grid, Block: block, SharedPerBlock: sharedPerBlock}, fn)
+}
+
+// LaunchSpec executes a kernel described by spec.
+func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
+	if spec.Grid <= 0 || spec.Block <= 0 {
+		panic("sim: launch with empty grid or block")
+	}
+	if spec.Block > kepler.MaxThreadsPerBlock {
+		panic("sim: block size exceeds device limit")
+	}
+
+	seq := d.seq
+	d.seq++
+	occ := kepler.ComputeOccupancy(spec.Block, spec.SharedPerBlock)
+
+	if cap(d.blockCycles) < spec.Grid {
+		d.blockCycles = make([]float64, spec.Grid)
+	}
+	blockCycles := d.blockCycles[:spec.Grid]
+
+	var stats trace.KernelStats
+	ctx := Ctx{BlockDim: spec.Block, GridDim: spec.Grid}
+
+	seed := d.launchSeed(spec.Name, seq)
+	stride, offset := scheduleParams(seed, spec.Grid)
+
+	lanes := make([]*trace.LaneLog, kepler.WarpSize)
+	for i := range lanes {
+		lanes[i] = d.lanes[i]
+	}
+
+	b := offset
+	for i := 0; i < spec.Grid; i++ {
+		var blockStats trace.KernelStats
+		ctx.Block = b
+		for warpBase := 0; warpBase < spec.Block; warpBase += kepler.WarpSize {
+			for ln := 0; ln < kepler.WarpSize; ln++ {
+				d.lanes[ln].Reset()
+				t := warpBase + ln
+				if t >= spec.Block {
+					continue
+				}
+				ctx.Thread = t
+				ctx.lane = d.lanes[ln]
+				fn(&ctx)
+			}
+			trace.MergeWarp(lanes, &blockStats)
+		}
+		blockCycles[b] = issueCycles(&blockStats)
+		stats.Add(&blockStats)
+
+		b += stride
+		if b >= spec.Grid {
+			b -= spec.Grid
+		}
+	}
+
+	// Host-side gap before this launch (driver/launch overhead).
+	if len(d.Launches) > 0 || len(d.Gaps) > 0 {
+		d.Gaps = append(d.Gaps, Gap{Start: d.now, Duration: d.interLaunchGap})
+		d.now += d.interLaunchGap
+	}
+
+	l := &Launch{
+		Name:           spec.Name,
+		Seq:            seq,
+		Grid:           spec.Grid,
+		Block:          spec.Block,
+		SharedPerBlock: spec.SharedPerBlock,
+		Occ:            occ,
+		Stats:          stats,
+		Start:          d.now,
+		Repeat:         1,
+		Scale:          d.timeScale,
+	}
+	l.Duration, l.TCore, l.TMem = kernelTime(d.Clocks, occ, &stats, blockCycles)
+	l.Duration *= d.timeScale
+	l.TCore *= d.timeScale
+	l.TMem *= d.timeScale
+	d.now += l.Duration
+	d.Launches = append(d.Launches, l)
+	return l
+}
+
+// scheduleParams derives a block-visit permutation (b = offset + i*stride mod
+// grid) from the launch seed. The stride is chosen coprime to the grid so
+// every block runs exactly once.
+func scheduleParams(seed uint64, grid int) (stride, offset int) {
+	if grid <= 1 {
+		return 1, 0
+	}
+	stride = int(seed%uint64(grid)) | 1 // odd
+	for gcd(stride, grid) != 1 {
+		stride += 2
+		if stride >= grid {
+			stride = 1
+			break
+		}
+	}
+	offset = int((seed >> 32) % uint64(grid))
+	return stride, offset
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/kepler"
+	"repro/internal/trace"
+)
+
+// issueCycles returns the SM issue cycles a set of warp instructions needs,
+// limited by the most contended functional-unit class. Barriers add a fixed
+// drain cost.
+func issueCycles(s *trace.KernelStats) float64 {
+	ldst := float64(s.LoadSlots+s.StoreSlots+s.Atomics) + float64(s.SharedCycles)
+	cyc := float64(s.TotalIssueSlots()) / kepler.IssueRate
+	cyc = math.Max(cyc, float64(s.IntInsts)/kepler.IntRate)
+	cyc = math.Max(cyc, float64(s.FP32Insts)/kepler.FP32Rate)
+	cyc = math.Max(cyc, float64(s.FP64Insts)/kepler.FP64Rate)
+	cyc = math.Max(cyc, float64(s.SFUInsts)/kepler.SFURate)
+	cyc = math.Max(cyc, ldst/kepler.LDSTRate)
+	// Barriers stall the warp briefly; most of the latency is hidden by
+	// other resident warps, so only a small issue cost remains.
+	cyc += float64(s.Syncs) * 4
+	return cyc
+}
+
+// kernelTime computes the duration of one kernel execution from its merged
+// statistics and per-block issue cycles. The model is a roofline with
+// occupancy-dependent compute/memory overlap:
+//
+//   - The compute side list-schedules the per-block issue cycles onto
+//     SMs*BlocksPerSM concurrent block slots, each issuing at the SM rate
+//     shared among resident blocks. Irregular kernels with imbalanced blocks
+//     therefore show a real makespan tail.
+//   - The memory side is the larger of the bandwidth time (transactions *
+//     128 B over the configuration's bandwidth) and the latency-concurrency
+//     time (Little's law over the resident warps' outstanding requests).
+//     ECC inflates scattered access streams beyond the bandwidth loss,
+//     because each isolated transaction drags its ECC word along.
+//   - Atomics are serviced at a device-wide rate in the core-clock domain,
+//     with same-address conflicts serialized.
+func kernelTime(clk kepler.Clocks, occ kepler.Occupancy, s *trace.KernelStats, blockCycles []float64) (total, tCore, tMem float64) {
+	coreHz := clk.CoreHz()
+	sms := clk.SMCount()
+
+	// Actual residency: a grid smaller than the device's capacity leaves
+	// slots empty, so the per-slot issue share rises accordingly.
+	bps := occ.BlocksPerSM
+	if g := (len(blockCycles) + sms - 1) / sms; g < bps && g > 0 {
+		bps = g
+	}
+	warpsPerBlock := occ.WarpsPerSM / occ.BlocksPerSM
+	if warpsPerBlock < 1 {
+		warpsPerBlock = 1
+	}
+	actualWarpsPerSM := bps * warpsPerBlock
+	if actualWarpsPerSM > occ.WarpsPerSM {
+		actualWarpsPerSM = occ.WarpsPerSM
+	}
+
+	// Compute side: issue-efficiency rises with resident warps per SM.
+	issueEff := float64(actualWarpsPerSM) / 10
+	if issueEff > 1 {
+		issueEff = 1
+	}
+	if issueEff < 0.08 {
+		issueEff = 0.08
+	}
+	slots := sms * bps
+	makespanCycles := listSchedule(blockCycles, slots)
+	// A slot issues at the SM rate divided among resident blocks; the
+	// listSchedule result is in per-block exclusive cycles, so scale by the
+	// sharing factor.
+	tCore = makespanCycles * float64(bps) / (coreHz * issueEff)
+	// Guard: aggregate throughput bound (whole-device issue).
+	var sumCycles float64
+	for _, c := range blockCycles {
+		sumCycles += c
+	}
+	aggregate := sumCycles / (float64(sms) * coreHz * issueEff)
+	if aggregate > tCore {
+		tCore = aggregate
+	}
+	// Pipeline fill/drain.
+	tCore += 2000 / coreHz
+
+	// Memory side.
+	txns := float64(s.GlobalTxns)
+	if clk.ECC {
+		// Scattered transactions can't amortize ECC-word fetches.
+		txns *= 1 + 0.30*(1-s.CoalescingEfficiency())
+	}
+	tMemBW := txns * kepler.SegmentBytes / clk.MemBandwidth()
+	residentWarps := float64(sms * actualWarpsPerSM)
+	if total := float64(s.Warps); total < residentWarps && total > 0 {
+		residentWarps = total
+	}
+	concurrency := residentWarps * kepler.MaxOutstandingPerWarp
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	tMemLat := txns * clk.MemLatency() / concurrency
+	tMem = math.Max(tMemBW, tMemLat)
+
+	// Atomics: device-wide service rate; same-address lanes serialize at
+	// the L2's one-op-per-cycle replay rate (warp-wide atomicAdd bursts are
+	// cheap, a histogram hot bin still costs).
+	tAtomic := (float64(s.Atomics)/16 + float64(s.AtomicConflicts)*2) / coreHz
+	tMem += tAtomic
+
+	// Overlap: high occupancy hides the smaller side behind the larger.
+	overlap := 0.50 + 0.45*math.Sqrt(occ.Fraction)
+	if overlap > 0.97 {
+		overlap = 0.97
+	}
+	total = math.Max(tCore, tMem) + (1-overlap)*math.Min(tCore, tMem)
+	return total, tCore, tMem
+}
+
+// listSchedule greedily assigns costs to p processors in order, returning
+// the makespan (max processor load).
+func listSchedule(costs []float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if len(costs) == 0 {
+		return 0
+	}
+	if p > len(costs) {
+		p = len(costs)
+	}
+	load := make([]float64, p)
+	for _, c := range costs {
+		// Find least-loaded processor (p is small: 13..208).
+		minI := 0
+		for i := 1; i < p; i++ {
+			if load[i] < load[minI] {
+				minI = i
+			}
+		}
+		load[minI] += c
+	}
+	var max float64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

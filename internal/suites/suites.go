@@ -1,0 +1,97 @@
+// Package suites aggregates the five benchmark suites into the paper's
+// 34-program study set and exposes the program groupings the experiments
+// need.
+package suites
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lonestar"
+	"repro/internal/parboil"
+	"repro/internal/rodinia"
+	"repro/internal/sdk"
+	"repro/internal/shoc"
+)
+
+// All returns the 34 studied programs grouped by suite in the paper's
+// presentation order (CUDA SDK, LonestarGPU, Parboil, Rodinia, SHOC).
+func All() []core.Program {
+	var ps []core.Program
+	ps = append(ps, sdk.Programs()...)
+	ps = append(ps, lonestar.Programs()...)
+	ps = append(ps, parboil.Programs()...)
+	ps = append(ps, rodinia.Programs()...)
+	ps = append(ps, shoc.Programs()...)
+	return ps
+}
+
+// Variants returns the alternate L-BFS and SSSP implementations (Table 3).
+func Variants() []core.Program {
+	return lonestar.Variants()
+}
+
+// TooShort returns programs from the suites that the paper could NOT study
+// because their runtimes yield too few power samples (section IV.A). They
+// run and validate like any other program; measuring them fails with an
+// insufficient-samples error.
+func TooShort() []core.Program {
+	return []core.Program{
+		shoc.NewTriad(),
+		shoc.NewReduction(),
+		rodinia.NewHotspot(),
+		rodinia.NewKmeans(),
+	}
+}
+
+// ByName finds a program (including variants) by its short name.
+func ByName(name string) (core.Program, error) {
+	all := append(All(), Variants()...)
+	all = append(all, TooShort()...)
+	for _, p := range all {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("suites: unknown program %q", name)
+}
+
+// BFSCross returns the four cross-suite BFS implementations of Table 4.
+func BFSCross() []core.Program {
+	var out []core.Program
+	for _, name := range []string{"L-BFS", "P-BFS", "R-BFS", "S-BFS"} {
+		p, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// LBFSVariants returns the measured L-BFS variants for Table 3 (atomic and
+// wla; wlw and wlc exist but yield too few samples, which Table3 reports).
+func LBFSVariants() []core.Program {
+	var out []core.Program
+	for _, name := range []string{"L-BFS-atomic", "L-BFS-wla", "L-BFS-wlw", "L-BFS-wlc"} {
+		p, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SSSPVariants returns the SSSP variants for Table 3.
+func SSSPVariants() []core.Program {
+	var out []core.Program
+	for _, name := range []string{"SSSP-wlc", "SSSP-wln"} {
+		p, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package suites
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllHas34Programs(t *testing.T) {
+	all := All()
+	if len(all) != 34 {
+		t.Fatalf("suite union has %d programs, want the paper's 34", len(all))
+	}
+	counts := map[core.Suite]int{}
+	names := map[string]bool{}
+	for _, p := range all {
+		counts[p.Suite()]++
+		if names[p.Name()] {
+			t.Errorf("duplicate program name %s", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	want := map[core.Suite]int{
+		core.SuiteSDK:      4,
+		core.SuiteLonestar: 7,
+		core.SuiteParboil:  9,
+		core.SuiteRodinia:  7,
+		core.SuiteSHOC:     7,
+	}
+	for s, n := range want {
+		if counts[s] != n {
+			t.Errorf("%s has %d programs, want %d", s, counts[s], n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("DMR")
+	if err != nil || p.Name() != "DMR" {
+		t.Fatalf("ByName(DMR) = %v, %v", p, err)
+	}
+	if _, err := ByName("L-BFS-atomic"); err != nil {
+		t.Errorf("variants must be addressable: %v", err)
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestBFSCross(t *testing.T) {
+	bfs := BFSCross()
+	if len(bfs) != 4 {
+		t.Fatalf("BFSCross = %d, want 4", len(bfs))
+	}
+	for _, p := range bfs {
+		if _, ok := p.(core.ItemCounts); !ok {
+			t.Errorf("%s does not report item counts", p.Name())
+		}
+	}
+}
+
+func TestVariantGroups(t *testing.T) {
+	if len(LBFSVariants()) != 4 || len(SSSPVariants()) != 2 {
+		t.Error("variant groups wrong")
+	}
+	for _, p := range append(LBFSVariants(), SSSPVariants()...) {
+		if _, ok := p.(core.Variant); !ok {
+			t.Errorf("%s is not a core.Variant", p.Name())
+		}
+	}
+}
+
+func TestTooShortPrograms(t *testing.T) {
+	short := TooShort()
+	if len(short) != 4 {
+		t.Fatalf("too-short set has %d programs", len(short))
+	}
+	for _, p := range short {
+		if _, err := ByName(p.Name()); err != nil {
+			t.Errorf("%s not addressable: %v", p.Name(), err)
+		}
+	}
+	// They must NOT count among the studied 34.
+	for _, p := range All() {
+		for _, s := range short {
+			if p.Name() == s.Name() {
+				t.Errorf("%s leaked into the studied set", p.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package trace
+
+// KernelStats aggregates the warp-level cost of a kernel (or of one thread
+// block of a kernel). All instruction counts are warp-instruction issue slots
+// after branch-divergence serialization: a warp whose lanes took two distinct
+// control-flow paths executes the instructions of both paths serially.
+type KernelStats struct {
+	// Warps is the number of warps merged.
+	Warps int64
+	// Slots is the total number of lockstep instruction slots executed.
+	Slots int64
+	// Paths is the total number of distinct concurrent operation groups
+	// summed over all slots (>= Slots; == Slots when every warp is fully
+	// convergent). Paths/Slots is the mean serialization per slot.
+	Paths int64
+	// LaneSlots is the number of active lane-slot pairs; LaneSlots /
+	// (32*Slots) is the SIMD efficiency (1 = no masked lanes).
+	LaneSlots int64
+
+	// IntInsts, FP32Insts, FP64Insts and SFUInsts count compute
+	// warp-instructions by functional-unit class.
+	IntInsts  int64
+	FP32Insts int64
+	FP64Insts int64
+	SFUInsts  int64
+
+	// LoadSlots and StoreSlots count global-memory warp instructions.
+	LoadSlots  int64
+	StoreSlots int64
+	// GlobalTxns is the number of 128-byte segment transactions those
+	// instructions generate after coalescing.
+	GlobalTxns int64
+	// GlobalBytes is the number of bytes the threads actually requested
+	// (useful bytes; GlobalTxns*128 - GlobalBytes is fetch waste).
+	GlobalBytes int64
+
+	// SharedSlots counts shared-memory warp instructions and SharedCycles
+	// the cycles they take including bank-conflict replays.
+	SharedSlots  int64
+	SharedCycles int64
+
+	// Atomics counts per-lane global atomic operations; AtomicConflicts is
+	// the extra serialization from multiple lanes updating the same address.
+	Atomics         int64
+	AtomicConflicts int64
+
+	// Syncs counts block-wide barrier instructions.
+	Syncs int64
+}
+
+// Add accumulates other into s.
+func (s *KernelStats) Add(other *KernelStats) {
+	s.Warps += other.Warps
+	s.Slots += other.Slots
+	s.Paths += other.Paths
+	s.LaneSlots += other.LaneSlots
+	s.IntInsts += other.IntInsts
+	s.FP32Insts += other.FP32Insts
+	s.FP64Insts += other.FP64Insts
+	s.SFUInsts += other.SFUInsts
+	s.LoadSlots += other.LoadSlots
+	s.StoreSlots += other.StoreSlots
+	s.GlobalTxns += other.GlobalTxns
+	s.GlobalBytes += other.GlobalBytes
+	s.SharedSlots += other.SharedSlots
+	s.SharedCycles += other.SharedCycles
+	s.Atomics += other.Atomics
+	s.AtomicConflicts += other.AtomicConflicts
+	s.Syncs += other.Syncs
+}
+
+// Scale multiplies every counter by k. It is used when one representative
+// execution stands in for k identical iterations.
+func (s *KernelStats) Scale(k int64) {
+	s.Warps *= k
+	s.Slots *= k
+	s.Paths *= k
+	s.LaneSlots *= k
+	s.IntInsts *= k
+	s.FP32Insts *= k
+	s.FP64Insts *= k
+	s.SFUInsts *= k
+	s.LoadSlots *= k
+	s.StoreSlots *= k
+	s.GlobalTxns *= k
+	s.GlobalBytes *= k
+	s.SharedSlots *= k
+	s.SharedCycles *= k
+	s.Atomics *= k
+	s.AtomicConflicts *= k
+	s.Syncs *= k
+}
+
+// ComputeInsts returns the total compute warp-instruction count.
+func (s *KernelStats) ComputeInsts() int64 {
+	return s.IntInsts + s.FP32Insts + s.FP64Insts + s.SFUInsts
+}
+
+// TotalIssueSlots returns every warp-instruction issue slot, compute and
+// memory alike.
+func (s *KernelStats) TotalIssueSlots() int64 {
+	return s.ComputeInsts() + s.LoadSlots + s.StoreSlots + s.SharedSlots + s.Atomics + s.Syncs
+}
+
+// DivergenceRatio returns the mean number of serialized operation groups
+// per lockstep slot (1 = fully convergent).
+func (s *KernelStats) DivergenceRatio() float64 {
+	if s.Slots == 0 {
+		return 1
+	}
+	return float64(s.Paths) / float64(s.Slots)
+}
+
+// SIMDEfficiency returns the fraction of lane slots that carried active
+// lanes (1 = no masked lanes).
+func (s *KernelStats) SIMDEfficiency() float64 {
+	if s.Slots == 0 {
+		return 1
+	}
+	return float64(s.LaneSlots) / float64(32*s.Slots)
+}
+
+// CoalescingEfficiency returns useful bytes divided by fetched bytes
+// (1 = perfectly coalesced).
+func (s *KernelStats) CoalescingEfficiency() float64 {
+	fetched := s.GlobalTxns * 128
+	if fetched == 0 {
+		return 1
+	}
+	eff := float64(s.GlobalBytes) / float64(fetched)
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// MergeWarp condenses the lanes of one warp into stats. Lanes may be nil or
+// empty (inactive threads past the end of the grid, or threads that recorded
+// nothing). The merge walks the lanes in lockstep, one instruction slot at a
+// time:
+//
+//   - lanes whose operation at the slot has the same kind and access size
+//     execute together as one SIMD group; a loop whose trip counts differ
+//     across lanes costs the maximum repeat count, with short-tripping lanes
+//     masked off (as on real hardware);
+//   - lanes whose operations differ in kind at the same slot are on distinct
+//     control-flow paths and their groups execute serially (branch
+//     divergence);
+//   - memory coalescing, bank-conflict and atomic-contention analysis runs
+//     within each group, since only its lanes access memory together.
+func MergeWarp(lanes []*LaneLog, stats *KernelStats) {
+	maxLen := 0
+	active := 0
+	for _, l := range lanes {
+		if l == nil || len(l.ops) == 0 {
+			continue
+		}
+		active++
+		if len(l.ops) > maxLen {
+			maxLen = len(l.ops)
+		}
+	}
+	if active == 0 {
+		return
+	}
+	stats.Warps++
+
+	var addrs [32]uint64
+	var gKind [32]Kind
+	var gSize [32]uint32
+	nLanes := len(lanes)
+	for slot := 0; slot < maxLen; slot++ {
+		nGroups := 0
+		laneCount := 0
+		for i := 0; i < nLanes; i++ {
+			l := lanes[i]
+			if l == nil || slot >= len(l.ops) {
+				continue
+			}
+			laneCount++
+			o := &l.ops[slot]
+			found := false
+			for g := 0; g < nGroups; g++ {
+				if gKind[g] == o.kind && gSize[g] == o.size {
+					found = true
+					break
+				}
+			}
+			if !found {
+				gKind[nGroups] = o.kind
+				gSize[nGroups] = o.size
+				nGroups++
+			}
+		}
+		stats.Slots++
+		stats.Paths += int64(nGroups)
+		stats.LaneSlots += int64(laneCount)
+
+		for g := 0; g < nGroups; g++ {
+			kind, size := gKind[g], gSize[g]
+			// Gather this group's lanes: max repeat and addresses.
+			var maxRep int64
+			n := 0
+			for i := 0; i < nLanes; i++ {
+				l := lanes[i]
+				if l == nil || slot >= len(l.ops) {
+					continue
+				}
+				o := &l.ops[slot]
+				if o.kind != kind || o.size != size {
+					continue
+				}
+				if int64(o.rep) > maxRep {
+					maxRep = int64(o.rep)
+				}
+				if n < len(addrs) {
+					addrs[n] = o.addr
+				}
+				n++
+			}
+			switch kind {
+			case KindInt:
+				stats.IntInsts += maxRep
+			case KindFP32:
+				stats.FP32Insts += maxRep
+			case KindFP64:
+				stats.FP64Insts += maxRep
+			case KindSFU:
+				stats.SFUInsts += maxRep
+			case KindSync:
+				stats.Syncs += maxRep
+			case KindLoad, KindStore:
+				txns := int64(segmentCount(addrs[:n], int(size)))
+				stats.GlobalTxns += txns * maxRep
+				// Useful bytes are counted over DISTINCT addresses: lanes
+				// broadcasting from one location consume one fetch.
+				useful := int64(size) * int64(distinctCount(addrs[:n]))
+				if cap := txns * 128; useful > cap {
+					useful = cap
+				}
+				stats.GlobalBytes += useful * maxRep
+				if kind == KindLoad {
+					stats.LoadSlots += maxRep
+				} else {
+					stats.StoreSlots += maxRep
+				}
+			case KindShared:
+				stats.SharedSlots += maxRep
+				stats.SharedCycles += int64(bankConflictCycles(addrs[:n])) * maxRep
+			case KindAtomic:
+				stats.Atomics += int64(n) * maxRep
+				stats.AtomicConflicts += int64(sameAddrExtra(addrs[:n])) * maxRep
+			}
+		}
+	}
+}
+
+// segmentCount returns the number of distinct aligned 128-byte segments
+// touched by accesses of the given size at the given addresses.
+func segmentCount(addrs []uint64, size int) int {
+	if size <= 0 {
+		size = 4
+	}
+	var segs [64]uint64
+	n := 0
+	for _, a := range addrs {
+		first := a >> 7
+		last := (a + uint64(size) - 1) >> 7
+		for s := first; s <= last; s++ {
+			found := false
+			for i := 0; i < n && i < len(segs); i++ {
+				if segs[i] == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				if n < len(segs) {
+					segs[n] = s
+				}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// bankConflictCycles returns the number of shared-memory cycles one warp
+// access takes: the maximum number of distinct 4-byte words requested from
+// any single bank. Lanes reading the same word broadcast in one cycle.
+func bankConflictCycles(offsets []uint64) int {
+	var bankWords [32][4]uint64 // up to 4 distinct words tracked per bank
+	var bankCount [32]int
+	maxC := 1
+	for _, off := range offsets {
+		word := off >> 2
+		bank := word % 32
+		dup := false
+		tracked := bankCount[bank]
+		if tracked > 4 {
+			tracked = 4
+		}
+		for i := 0; i < tracked; i++ {
+			if bankWords[bank][i] == word {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if bankCount[bank] < 4 {
+			bankWords[bank][bankCount[bank]] = word
+		}
+		bankCount[bank]++
+		if bankCount[bank] > maxC {
+			maxC = bankCount[bank]
+		}
+	}
+	return maxC
+}
+
+// distinctCount returns the number of distinct addresses.
+func distinctCount(addrs []uint64) int {
+	var seen [32]uint64
+	distinct := 0
+	for _, a := range addrs {
+		dup := false
+		for i := 0; i < distinct; i++ {
+			if seen[i] == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[distinct] = a
+			distinct++
+		}
+	}
+	return distinct
+}
+
+// sameAddrExtra returns the extra serialization cost of atomics on duplicate
+// addresses: total accesses minus distinct addresses.
+func sameAddrExtra(addrs []uint64) int {
+	var seen [32]uint64
+	distinct := 0
+	for _, a := range addrs {
+		dup := false
+		for i := 0; i < distinct; i++ {
+			if seen[i] == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[distinct] = a
+			distinct++
+		}
+	}
+	return len(addrs) - distinct
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// uniformWarp builds 32 lanes that all perform the same ops with
+// lane-strided addresses.
+func uniformWarp(build func(lane int, l *LaneLog)) []*LaneLog {
+	lanes := make([]*LaneLog, 32)
+	for i := range lanes {
+		lanes[i] = &LaneLog{}
+		build(i, lanes[i])
+	}
+	return lanes
+}
+
+func TestCoalescedLoad(t *testing.T) {
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Global(KindLoad, uint64(lane*4), 4) // 32 x 4B consecutive = 1 segment
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.GlobalTxns != 1 {
+		t.Errorf("coalesced load: txns = %d, want 1", s.GlobalTxns)
+	}
+	if s.GlobalBytes != 128 {
+		t.Errorf("bytes = %d, want 128", s.GlobalBytes)
+	}
+	if s.LoadSlots != 1 || s.Warps != 1 || s.DivergenceRatio() != 1 {
+		t.Errorf("slots/warps/ratio = %d/%d/%f", s.LoadSlots, s.Warps, s.DivergenceRatio())
+	}
+	if s.CoalescingEfficiency() != 1 {
+		t.Errorf("efficiency = %f, want 1", s.CoalescingEfficiency())
+	}
+}
+
+func TestStridedLoadUncoalesced(t *testing.T) {
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Global(KindLoad, uint64(lane*128), 4) // each lane its own segment
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.GlobalTxns != 32 {
+		t.Errorf("strided load: txns = %d, want 32", s.GlobalTxns)
+	}
+	if eff := s.CoalescingEfficiency(); eff > 0.05 {
+		t.Errorf("efficiency = %f, want 1/32", eff)
+	}
+}
+
+func TestMisalignedCrossesSegments(t *testing.T) {
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Global(KindLoad, uint64(64+lane*4), 4) // straddles two segments
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.GlobalTxns != 2 {
+		t.Errorf("misaligned load: txns = %d, want 2", s.GlobalTxns)
+	}
+}
+
+func TestWideAccessSpansSegments(t *testing.T) {
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Global(KindLoad, uint64(lane*8), 8) // 32 x 8B = 256B = 2 segments
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.GlobalTxns != 2 {
+		t.Errorf("8B loads: txns = %d, want 2", s.GlobalTxns)
+	}
+	if s.GlobalBytes != 256 {
+		t.Errorf("bytes = %d, want 256", s.GlobalBytes)
+	}
+}
+
+func TestRepeatedLoadScales(t *testing.T) {
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.GlobalRep(KindLoad, uint64(lane*4), 4, 10)
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.GlobalTxns != 10 || s.LoadSlots != 10 || s.GlobalBytes != 1280 {
+		t.Errorf("rep load: txns/slots/bytes = %d/%d/%d, want 10/10/1280",
+			s.GlobalTxns, s.LoadSlots, s.GlobalBytes)
+	}
+}
+
+func TestMaskedTailIsNotSerialized(t *testing.T) {
+	// Half the lanes do extra trailing work: the warp pays for the longer
+	// path once, with the short lanes masked off (no serialization).
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		if lane%2 == 0 {
+			l.Compute(KindInt, 10)
+		} else {
+			l.Compute(KindInt, 10)
+			l.Compute(KindFP32, 20)
+		}
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.IntInsts != 10 || s.FP32Insts != 20 {
+		t.Errorf("insts int/fp32 = %d/%d, want 10/20 (masked)", s.IntInsts, s.FP32Insts)
+	}
+	if s.DivergenceRatio() != 1 {
+		t.Errorf("divergence ratio = %f, want 1 (masking, not serialization)", s.DivergenceRatio())
+	}
+	if eff := s.SIMDEfficiency(); eff != 0.75 {
+		t.Errorf("SIMD efficiency = %f, want 0.75", eff)
+	}
+}
+
+func TestMaskedLoopCostsMaxTrips(t *testing.T) {
+	// A loop with lane-dependent trip counts costs the maximum trip count.
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Compute(KindInt, 1+lane) // trips 1..32
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.IntInsts != 32 {
+		t.Errorf("int insts = %d, want 32 (max trips)", s.IntInsts)
+	}
+}
+
+func TestBranchDivergenceSerializes(t *testing.T) {
+	// Lanes executing different operation kinds at the same slot are on
+	// distinct control-flow paths and serialize.
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		if lane%2 == 0 {
+			l.Compute(KindInt, 10)
+		} else {
+			l.Compute(KindFP32, 10)
+		}
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.IntInsts != 10 || s.FP32Insts != 10 {
+		t.Errorf("insts int/fp32 = %d/%d, want 10/10 (both paths)", s.IntInsts, s.FP32Insts)
+	}
+	if s.DivergenceRatio() != 2 {
+		t.Errorf("divergence ratio = %f, want 2", s.DivergenceRatio())
+	}
+}
+
+func TestConvergentWarpSinglePath(t *testing.T) {
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Compute(KindFP64, 5)
+		l.Sync()
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.DivergenceRatio() != 1 || s.FP64Insts != 5 || s.Syncs != 1 {
+		t.Errorf("ratio/fp64/syncs = %f/%d/%d, want 1/5/1", s.DivergenceRatio(), s.FP64Insts, s.Syncs)
+	}
+}
+
+func TestInactiveLanes(t *testing.T) {
+	lanes := make([]*LaneLog, 32)
+	for i := 0; i < 7; i++ { // only 7 active lanes
+		lanes[i] = &LaneLog{}
+		lanes[i].Global(KindStore, uint64(i*4), 4)
+	}
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.Warps != 1 || s.GlobalTxns != 1 || s.GlobalBytes != 28 {
+		t.Errorf("warps/txns/bytes = %d/%d/%d, want 1/1/28", s.Warps, s.GlobalTxns, s.GlobalBytes)
+	}
+}
+
+func TestAllInactive(t *testing.T) {
+	lanes := make([]*LaneLog, 32)
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.Warps != 0 {
+		t.Errorf("all-inactive warp counted: %+v", s)
+	}
+}
+
+func TestSharedBankConflicts(t *testing.T) {
+	cases := []struct {
+		name   string
+		offset func(lane int) uint64
+		want   int64
+	}{
+		{"conflict-free", func(l int) uint64 { return uint64(l * 4) }, 1},
+		{"2-way", func(l int) uint64 { return uint64((l % 16) * 2 * 4 * 32 / 32 * 8) }, 2},
+		{"broadcast", func(l int) uint64 { return 0 }, 1},
+		{"32-way", func(l int) uint64 { return uint64(l * 32 * 4) }, 32},
+	}
+	for _, c := range cases {
+		lanes := uniformWarp(func(lane int, l *LaneLog) {
+			l.Shared(c.offset(lane))
+		})
+		var s KernelStats
+		MergeWarp(lanes, &s)
+		if c.name == "2-way" {
+			// stride-8 words: lanes map to 16 banks, 2 words each.
+			if s.SharedCycles < 2 {
+				t.Errorf("%s: cycles = %d, want >= 2", c.name, s.SharedCycles)
+			}
+			continue
+		}
+		if s.SharedCycles != c.want {
+			t.Errorf("%s: cycles = %d, want %d", c.name, s.SharedCycles, c.want)
+		}
+	}
+}
+
+func TestAtomicContention(t *testing.T) {
+	// All lanes hammer the same address: 31 extra serializations.
+	lanes := uniformWarp(func(lane int, l *LaneLog) {
+		l.Atomic(0x1000)
+	})
+	var s KernelStats
+	MergeWarp(lanes, &s)
+	if s.Atomics != 32 || s.AtomicConflicts != 31 {
+		t.Errorf("same-addr atomics = %d conflicts = %d, want 32/31", s.Atomics, s.AtomicConflicts)
+	}
+	// Distinct addresses: no conflicts.
+	lanes = uniformWarp(func(lane int, l *LaneLog) {
+		l.Atomic(uint64(0x1000 + lane*4))
+	})
+	s = KernelStats{}
+	MergeWarp(lanes, &s)
+	if s.Atomics != 32 || s.AtomicConflicts != 0 {
+		t.Errorf("distinct atomics = %d conflicts = %d, want 32/0", s.Atomics, s.AtomicConflicts)
+	}
+}
+
+func TestStatsAddAndScale(t *testing.T) {
+	a := KernelStats{Warps: 1, Slots: 2, Paths: 2, IntInsts: 3, GlobalTxns: 4, GlobalBytes: 5, Atomics: 6, Syncs: 7}
+	b := a
+	a.Add(&b)
+	if a.Warps != 2 || a.IntInsts != 6 || a.GlobalTxns != 8 {
+		t.Errorf("Add: %+v", a)
+	}
+	a.Scale(3)
+	if a.Warps != 6 || a.IntInsts != 18 || a.Syncs != 42 {
+		t.Errorf("Scale: %+v", a)
+	}
+}
+
+// Property: transactions never exceed active lanes times segments-per-access
+// and never fall below 1 for an active memory op; useful bytes never exceed
+// fetched bytes.
+func TestPropertyCoalescingBounds(t *testing.T) {
+	f := func(seed uint64, size8 uint8) bool {
+		size := int(size8%16) + 1
+		lanes := uniformWarp(func(lane int, l *LaneLog) {
+			a := (seed ^ uint64(lane)*2654435761) % (1 << 20)
+			l.Global(KindLoad, a, size)
+		})
+		var s KernelStats
+		MergeWarp(lanes, &s)
+		maxSegs := int64(32 * (size/128 + 2))
+		return s.GlobalTxns >= 1 && s.GlobalTxns <= maxSegs &&
+			s.GlobalBytes == int64(32*size) &&
+			s.CoalescingEfficiency() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: divergence ratio is always in [1, 32].
+func TestPropertyDivergenceBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		lanes := uniformWarp(func(lane int, l *LaneLog) {
+			n := int((seed>>uint(lane%8))%5) + 1
+			l.Compute(KindInt, n)
+		})
+		var s KernelStats
+		MergeWarp(lanes, &s)
+		d := s.DivergenceRatio()
+		return d >= 1 && d <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLoad.String() != "load" || KindFP32.String() != "fp32" || Kind(200).String() != "unknown" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,115 @@
+// Package trace records the hardware operations issued by the threads of a
+// simulated kernel and condenses them into warp-level statistics. Threads
+// append operation records to per-lane logs; the warp merger groups lanes by
+// control-flow path (branch divergence serializes distinct paths), coalesces
+// global-memory accesses into 128-byte segment transactions, and detects
+// shared-memory bank conflicts and same-address atomic contention.
+//
+// Operation records carry a repeat count so that regular inner loops (for
+// example the k-loop of a tiled matrix multiply) can be recorded in O(1)
+// instead of O(iterations): a repeated memory record stands for `rep`
+// back-to-back accesses with the same relative lane layout, which coalesce
+// identically.
+package trace
+
+// Kind identifies the class of a recorded operation.
+type Kind uint8
+
+// Operation kinds. Compute kinds carry a repeat count; memory kinds carry an
+// address, an access size in bytes, and a repeat count.
+const (
+	KindInt Kind = iota
+	KindFP32
+	KindFP64
+	KindSFU
+	KindLoad
+	KindStore
+	KindShared
+	KindAtomic
+	KindSync
+)
+
+var kindNames = [...]string{"int", "fp32", "fp64", "sfu", "load", "store", "shared", "atomic", "sync"}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// op is one recorded operation of one lane.
+type op struct {
+	kind Kind
+	size uint32 // access size in bytes (memory kinds)
+	rep  uint32 // repeat count
+	addr uint64 // virtual address (memory kinds)
+}
+
+// LaneLog accumulates the operations of a single thread (lane).
+type LaneLog struct {
+	ops []op
+}
+
+// Reset clears the log for reuse.
+func (l *LaneLog) Reset() {
+	l.ops = l.ops[:0]
+}
+
+// Len returns the number of recorded operation slots.
+func (l *LaneLog) Len() int { return len(l.ops) }
+
+func (l *LaneLog) record(k Kind, size, rep uint32, addr uint64) {
+	l.ops = append(l.ops, op{kind: k, size: size, rep: rep, addr: addr})
+}
+
+// Compute records n back-to-back compute operations of the given kind.
+func (l *LaneLog) Compute(k Kind, n int) {
+	if n <= 0 {
+		return
+	}
+	l.record(k, 0, uint32(n), 0)
+}
+
+// Global records a global-memory access (KindLoad or KindStore) of size
+// bytes at addr.
+func (l *LaneLog) Global(k Kind, addr uint64, size int) {
+	l.GlobalRep(k, addr, size, 1)
+}
+
+// GlobalRep records rep back-to-back global accesses with the same relative
+// warp layout as the one at addr (a regular strided loop).
+func (l *LaneLog) GlobalRep(k Kind, addr uint64, size, rep int) {
+	if rep <= 0 {
+		return
+	}
+	if size <= 0 {
+		size = 4
+	}
+	l.record(k, uint32(size), uint32(rep), addr)
+}
+
+// Shared records a shared-memory access at the given byte offset.
+func (l *LaneLog) Shared(offset uint64) {
+	l.SharedRep(offset, 1)
+}
+
+// SharedRep records rep shared-memory accesses with the bank layout of the
+// one at offset.
+func (l *LaneLog) SharedRep(offset uint64, rep int) {
+	if rep <= 0 {
+		return
+	}
+	l.record(KindShared, 4, uint32(rep), offset)
+}
+
+// Atomic records a global atomic operation on addr.
+func (l *LaneLog) Atomic(addr uint64) {
+	l.record(KindAtomic, 4, 1, addr)
+}
+
+// Sync records a block-wide barrier.
+func (l *LaneLog) Sync() {
+	l.record(KindSync, 0, 1, 0)
+}
