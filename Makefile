@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz check selfcheck golden ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+# Short fuzz smoke over the store key codec; seeds plus 10s of mutation.
+fuzz:
+	$(GO) test -fuzz=FuzzKeyRoundTrip -fuzztime=10s ./internal/core
+
+# Full physics-invariant verification sweep + golden corpus diff.
+check:
+	$(GO) test -v -timeout 20m ./internal/check/...
+
+selfcheck:
+	$(GO) run ./cmd/gpuchar -selfcheck
+
+# Regenerate the golden corpus. Do this ONLY together with a deliberate
+# physics change and a core.StoreVersion bump (see DESIGN.md).
+golden:
+	$(GO) run ./cmd/goldengen -v
+
+ci: vet build race test fuzz

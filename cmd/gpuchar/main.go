@@ -7,6 +7,7 @@
 //	gpuchar -exp all
 //	gpuchar -exp table1,table2,fig2,fig3,fig4,table3,table4,fig5,fig6
 //	gpuchar -exp fig2 -reps 3
+//	gpuchar -selfcheck    # physics-invariant verification sweep (internal/check)
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/kepler"
 	"repro/internal/report"
@@ -32,11 +34,27 @@ func mustBy(name string, fail func(error)) core.Program {
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'")
-		reps    = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
-		store   = flag.String("store", "", "measurement cache file: loaded if present, saved on exit")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'")
+		reps      = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
+		store     = flag.String("store", "", "measurement cache file: loaded if present, saved on exit")
+		selfcheck = flag.Bool("selfcheck", false, "run the physics-invariant verification sweep instead of the experiments; exit 1 on any violation")
 	)
 	flag.Parse()
+
+	if *selfcheck {
+		runner := core.NewRunner()
+		runner.Repetitions = *reps
+		rep, err := check.Run(runner, suites.All(), check.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpuchar:", err)
+			os.Exit(1)
+		}
+		rep.Format(os.Stdout)
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {

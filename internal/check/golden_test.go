@@ -1,0 +1,152 @@
+package check
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kepler"
+	"repro/internal/suites"
+)
+
+const goldenDir = "testdata/golden"
+
+// TestGoldenCorpusMatchesPhysics is the regression gate: the current sweep
+// must reproduce the committed corpus bit-for-bit (the pipeline is fully
+// deterministic, so the tolerance is only guarding float formatting).
+func TestGoldenCorpusMatchesPhysics(t *testing.T) {
+	r, _ := sharedSweep(t)
+
+	want, err := LoadGoldenDir(goldenDir)
+	if err != nil {
+		t.Fatalf("loading golden corpus: %v", err)
+	}
+	if len(want) != len(core.Suites) {
+		t.Fatalf("golden corpus has %d suites, want %d (regenerate with `go run ./cmd/goldengen`)",
+			len(want), len(core.Suites))
+	}
+
+	got, err := Snapshot(r, suites.All(), kepler.Configs)
+	if err != nil {
+		t.Fatalf("snapshotting current sweep: %v", err)
+	}
+
+	for _, suite := range core.Suites {
+		w, g := want[suite], got[suite]
+		if w == nil || g == nil {
+			t.Errorf("suite %q missing: golden=%v current=%v", suite, w != nil, g != nil)
+			continue
+		}
+		if w.StoreVersion != core.StoreVersion {
+			t.Errorf("suite %q golden at store version %d, physics at %d: regenerate the corpus",
+				suite, w.StoreVersion, core.StoreVersion)
+		}
+		for _, d := range DiffGolden(w, g, 1e-9) {
+			t.Errorf("%s: %s", suite, d)
+		}
+	}
+}
+
+// TestGoldenDiffDetectsDrift perturbs a real golden file and checks the
+// diff names the combination, the metric and both values.
+func TestGoldenDiffDetectsDrift(t *testing.T) {
+	files, err := LoadGoldenDir(goldenDir)
+	if err != nil {
+		t.Fatalf("loading golden corpus: %v", err)
+	}
+	var gf *GoldenFile
+	for _, f := range files {
+		gf = f
+		break
+	}
+	if gf == nil || len(gf.Entries) == 0 {
+		t.Fatal("empty golden corpus")
+	}
+
+	perturb := func(mutate func(*GoldenFile)) *GoldenFile {
+		cp := *gf
+		cp.Entries = append([]GoldenEntry(nil), gf.Entries...)
+		mutate(&cp)
+		return &cp
+	}
+
+	// Find a measured (not insufficient) entry to drift.
+	idx := -1
+	for i, e := range gf.Entries {
+		if !e.Insufficient {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no measured entry in golden file")
+	}
+
+	drifted := perturb(func(f *GoldenFile) { f.Entries[idx].Energy *= 1.01 })
+	diffs := DiffGolden(gf, drifted, 1e-9)
+	if len(diffs) != 1 {
+		t.Fatalf("1%% energy drift produced %d diff lines: %v", len(diffs), diffs)
+	}
+	e := gf.Entries[idx]
+	for _, wantSub := range []string{"Energy", e.Program, e.Config, "rel"} {
+		if !strings.Contains(diffs[0], wantSub) {
+			t.Errorf("diff line %q does not mention %q", diffs[0], wantSub)
+		}
+	}
+
+	flipped := perturb(func(f *GoldenFile) {
+		f.Entries[idx].Insufficient = true
+	})
+	if diffs := DiffGolden(gf, flipped, 1e-9); len(diffs) == 0 || !strings.Contains(diffs[0], "measurability flipped") {
+		t.Errorf("measurability flip not reported: %v", diffs)
+	}
+
+	missing := perturb(func(f *GoldenFile) { f.Entries = f.Entries[1:] })
+	if diffs := DiffGolden(gf, missing, 1e-9); len(diffs) == 0 || !strings.Contains(diffs[0], "vanished") {
+		t.Errorf("vanished combination not reported: %v", diffs)
+	}
+
+	staleVersion := perturb(func(f *GoldenFile) { f.StoreVersion++ })
+	if diffs := DiffGolden(gf, staleVersion, 1e-9); len(diffs) == 0 || !strings.Contains(diffs[0], "goldengen") {
+		t.Errorf("version mismatch must point at the regeneration tool: %v", diffs)
+	}
+
+	if diffs := DiffGolden(gf, perturb(func(*GoldenFile) {}), 1e-9); len(diffs) != 0 {
+		t.Errorf("identical files diff non-empty: %v", diffs)
+	}
+}
+
+// TestGoldenWriteLoadRoundTrip pins that the on-disk encoding is lossless.
+func TestGoldenWriteLoadRoundTrip(t *testing.T) {
+	in := map[core.Suite]*GoldenFile{
+		core.SuiteSDK: {
+			StoreVersion: core.StoreVersion,
+			Suite:        string(core.SuiteSDK),
+			Entries: []GoldenEntry{
+				{Program: "NB", Input: "1m", Config: "default",
+					ActiveTime: 1.25, Energy: 137.5, AvgPower: 110,
+					TrueActiveTime: 1.24, TrueEnergy: 136.4},
+				{Program: "NB", Input: "1m", Config: "324", Insufficient: true},
+			},
+		},
+	}
+	dir := t.TempDir()
+	if err := WriteGoldenDir(dir, in); err != nil {
+		t.Fatalf("writing: %v", err)
+	}
+	out, err := LoadGoldenDir(dir)
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the corpus:\n in: %+v\nout: %+v", in[core.SuiteSDK], out[core.SuiteSDK])
+	}
+	if name := SuiteFileName(core.SuiteSDK); name != "cuda-sdk.json" {
+		t.Errorf("SuiteFileName = %q", name)
+	}
+	if _, err := LoadGoldenFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("loading a missing golden file succeeded")
+	}
+}

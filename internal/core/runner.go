@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/k20power"
 	"repro/internal/kepler"
@@ -29,6 +31,11 @@ type Result struct {
 	// TrueActiveTime and TrueEnergy are the simulator's ground truth, kept
 	// for validating the measurement stack (not used by the experiments).
 	TrueActiveTime, TrueEnergy float64
+
+	// Traces holds the raw sensor trace of each repetition, index-aligned
+	// with Reps. Populated only when the Runner's KeepTraces is set (the
+	// verification engine integrates them); never persisted to the store.
+	Traces [][]sensor.Sample
 }
 
 // TimeSpread, EnergySpread return the (max-min)/min variability across the
@@ -59,6 +66,9 @@ type Runner struct {
 	RuntimeJitter float64
 	// Sensor options template; the seed is set per repetition.
 	Analysis k20power.Options
+	// KeepTraces retains each repetition's raw sensor samples in
+	// Result.Traces, for trace-level verification (costs memory).
+	KeepTraces bool
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -68,6 +78,9 @@ type cacheEntry struct {
 	once sync.Once
 	res  *Result
 	err  error
+	// resolved is published after res/err are written inside once; readers
+	// outside the once (SaveStore) must observe it before touching them.
+	resolved atomic.Bool
 }
 
 // NewRunner returns a Runner with the paper's methodology defaults.
@@ -98,6 +111,7 @@ func (r *Runner) Measure(p Program, input string, clk kepler.Clocks) (*Result, e
 	r.mu.Unlock()
 	e.once.Do(func() {
 		e.res, e.err = r.measure(p, input, clk)
+		e.resolved.Store(true)
 	})
 	return e.res, e.err
 }
@@ -136,6 +150,9 @@ func (r *Runner) measure(p Program, input string, clk kepler.Clocks) (*Result, e
 			continue
 		}
 		res.Reps = append(res.Reps, m)
+		if r.KeepTraces {
+			res.Traces = append(res.Traces, samples)
+		}
 	}
 	if len(res.Reps) == 0 {
 		return nil, firstErr
@@ -171,7 +188,8 @@ func perturbTimeline(segs []power.Segment, seed uint64, jitter float64) []power.
 // MeasureAll measures every (program, input, config) combination in
 // parallel, returning the results keyed the same way Measure caches them.
 // Combinations that fail with insufficient samples are skipped (the paper's
-// exclusions); other errors abort.
+// exclusions); every other failure is collected and reported via
+// errors.Join, so one broken program does not mask the others.
 func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInputs bool) error {
 	type job struct {
 		p     Program
@@ -206,7 +224,11 @@ func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInpu
 	}
 	wg.Wait()
 	close(errs)
-	return <-errs
+	var all []error
+	for err := range errs {
+		all = append(all, err)
+	}
+	return errors.Join(all...)
 }
 
 func isInsufficient(err error) bool {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/k20power"
@@ -129,6 +130,40 @@ func TestMeasureAllSkipsInsufficient(t *testing.T) {
 	r := NewRunner()
 	if err := r.MeasureAll(progs, []kepler.Clocks{kepler.Default}, false); err != nil {
 		t.Fatalf("MeasureAll should skip insufficiency: %v", err)
+	}
+}
+
+// MeasureAll must report EVERY hard failure, not just the first one drained.
+func TestMeasureAllAggregatesFailures(t *testing.T) {
+	broken := func(name string) Program {
+		return &toyProgram{
+			name:  name,
+			suite: SuiteSDK,
+			run: func(dev *sim.Device) error {
+				return Validatef(name, "deliberate failure")
+			},
+		}
+	}
+	progs := []Program{
+		computeBoundToy(4000),
+		broken("toy-broken-a"),
+		broken("toy-broken-b"),
+		broken("toy-broken-c"),
+	}
+	r := NewRunner()
+	err := r.MeasureAll(progs, []kepler.Clocks{kepler.Default}, false)
+	if err == nil {
+		t.Fatal("MeasureAll swallowed hard failures")
+	}
+	msg := err.Error()
+	for _, name := range []string{"toy-broken-a", "toy-broken-b", "toy-broken-c"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("aggregated error missing %s: %v", name, err)
+		}
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Errorf("aggregated error lost the ValidationError type: %v", err)
 	}
 }
 

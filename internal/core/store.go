@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/k20power"
 )
@@ -40,6 +41,11 @@ type storeFile struct {
 // in a way that invalidates cached measurements.
 const storeVersion = 1
 
+// StoreVersion is the current on-disk store format/physics version. The
+// golden corpus embeds it so a legitimate physics change (version bump)
+// is distinguishable from an accidental regression.
+const StoreVersion = storeVersion
+
 // SaveStore writes the runner's cached measurements to path as JSON. Only
 // completed entries are written.
 func (r *Runner) SaveStore(path string) error {
@@ -53,6 +59,11 @@ func (r *Runner) SaveStore(path string) error {
 	var sf storeFile
 	sf.Version = storeVersion
 	for key, e := range entries {
+		// Entries still inside their sync.Once are skipped: reading res/err
+		// before resolved is published would race with a concurrent Measure.
+		if !e.resolved.Load() {
+			continue
+		}
 		prog, input, config, board, ok := splitKey(key)
 		if !ok {
 			continue
@@ -136,7 +147,8 @@ func (r *Runner) LoadStore(path string) error {
 				TrueEnergy:     sr.TrueEnergy,
 			}
 		}
-		e.once.Do(func() {}) // mark resolved
+		e.once.Do(func() {}) // consume the once
+		e.resolved.Store(true)
 		r.cache[key] = e
 	}
 	return nil
@@ -144,8 +156,13 @@ func (r *Runner) LoadStore(path string) error {
 
 const keySep = "\x00"
 
+// joinKey builds the cache key. The separator is NUL, so NUL (and the escape
+// character itself) is escaped inside each field; otherwise a program or
+// input name containing "\x00" would corrupt the round trip through
+// SaveStore/LoadStore.
 func joinKey(prog, input, config, board string) string {
-	return prog + keySep + input + keySep + config + keySep + board
+	return escapeKeyPart(prog) + keySep + escapeKeyPart(input) + keySep +
+		escapeKeyPart(config) + keySep + escapeKeyPart(board)
 }
 
 func splitKey(key string) (prog, input, config, board string, ok bool) {
@@ -161,5 +178,62 @@ func splitKey(key string) (prog, input, config, board string, ok bool) {
 	if len(parts) != 4 {
 		return "", "", "", "", false
 	}
+	for i, p := range parts {
+		up, valid := unescapeKeyPart(p)
+		if !valid {
+			return "", "", "", "", false
+		}
+		parts[i] = up
+	}
 	return parts[0], parts[1], parts[2], parts[3], true
+}
+
+// escapeKeyPart makes a field safe to embed between NUL separators:
+// backslash doubles and NUL becomes `\0`.
+func escapeKeyPart(s string) string {
+	if !strings.ContainsAny(s, "\x00\\") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case 0:
+			b.WriteString(`\0`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeKeyPart inverts escapeKeyPart. It reports false on a dangling or
+// unknown escape (a malformed key).
+func unescapeKeyPart(s string) (string, bool) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, true
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '0':
+			b.WriteByte(0)
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
 }

@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+// FuzzKeyRoundTrip asserts the cache-key codec is lossless for arbitrary
+// program/input/config/board names, including ones containing the NUL
+// separator and the escape character.
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add("NB", "1m", "614", "K20c")
+	f.Add("N\x00B", "in\\put", "\x00", "")
+	f.Add(`\`, `\0`, `\\`, "\x00\\")
+	f.Fuzz(func(t *testing.T, prog, input, config, board string) {
+		p, i, c, b, ok := splitKey(joinKey(prog, input, config, board))
+		if !ok {
+			t.Fatalf("joinKey(%q,%q,%q,%q) did not split", prog, input, config, board)
+		}
+		if p != prog || i != input || c != config || b != board {
+			t.Fatalf("round trip changed fields: %q %q %q %q -> %q %q %q %q",
+				prog, input, config, board, p, i, c, b)
+		}
+	})
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/kepler"
@@ -123,5 +125,105 @@ func TestSplitKey(t *testing.T) {
 	}
 	if _, _, _, _, ok := splitKey("toofew"); ok {
 		t.Error("malformed key accepted")
+	}
+}
+
+func TestKeyRoundTripHostileNames(t *testing.T) {
+	cases := [][4]string{
+		{"N\x00B", "1m", "614", "K20c"},
+		{"\x00", "\x00\x00", "a\\0b", `tricky\`},
+		{`\`, `\\`, `\0`, "\x00\\\x00"},
+		{"", "", "", ""},
+	}
+	for _, c := range cases {
+		p, i, cf, b, ok := splitKey(joinKey(c[0], c[1], c[2], c[3]))
+		if !ok || p != c[0] || i != c[1] || cf != c[2] || b != c[3] {
+			t.Errorf("round trip %q: got %q %q %q %q ok=%v", c, p, i, cf, b, ok)
+		}
+	}
+	// A dangling escape must be rejected, not silently mangled.
+	if _, ok := unescapeKeyPart(`dangling\`); ok {
+		t.Error("dangling escape accepted")
+	}
+	if _, ok := unescapeKeyPart(`bad\x`); ok {
+		t.Error("unknown escape accepted")
+	}
+}
+
+// TestSaveStoreConcurrentWithMeasure exercises SaveStore racing with
+// in-flight Measure calls; run under -race it verifies that pending cache
+// entries are never read before their once publishes them.
+func TestSaveStoreConcurrentWithMeasure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+
+	r := NewRunner()
+	r.Repetitions = 1
+	var progs []*toyProgram
+	for i := 0; i < 8; i++ {
+		progs = append(progs, computeBoundToy(3000+100*i))
+		progs[i].name = fmt.Sprintf("toy-race-%d", i)
+	}
+
+	var wg sync.WaitGroup
+	for _, p := range progs {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Measure(p, "default", kepler.Default); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.SaveStore(path); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A final save must persist every completed entry.
+	if err := r.SaveStore(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner()
+	if err := r2.LoadStore(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		spy := &toyProgram{name: p.name, suite: p.suite, run: func(dev *sim.Device) error {
+			t.Errorf("%s re-ran despite persisted store", p.name)
+			return nil
+		}}
+		if _, err := r2.Measure(spy, "default", kepler.Default); err != nil {
+			t.Errorf("%s: %v", p.name, err)
+		}
+	}
+}
+
+// LoadStore failure paths, driven by fixture files under testdata/.
+func TestLoadStoreFailurePaths(t *testing.T) {
+	cases := []struct {
+		name, path string
+	}{
+		{"missing file", filepath.Join(t.TempDir(), "does-not-exist.json")},
+		{"corrupt JSON", filepath.Join("testdata", "store_corrupt.json")},
+		{"version mismatch", filepath.Join("testdata", "store_badversion.json")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := NewRunner()
+			if err := r.LoadStore(c.path); err == nil {
+				t.Fatalf("LoadStore(%s) accepted", c.path)
+			}
+			if len(r.cache) != 0 {
+				t.Errorf("failed load left %d cache entries", len(r.cache))
+			}
+		})
 	}
 }

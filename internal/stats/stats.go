@@ -62,19 +62,26 @@ func BoxOf(vals []float64) Box {
 
 // Spread returns (max-min)/min of vals: the paper's run-to-run variability
 // metric ("difference between the highest and the lowest of any set of
-// three measurements"). It returns 0 for fewer than two values.
+// three measurements"). It returns 0 for fewer than two values and NaN if
+// any value is NaN (a poisoned measurement must not read as "no spread").
 func Spread(vals []float64) float64 {
 	if len(vals) < 2 {
 		return 0
 	}
 	min, max := vals[0], vals[0]
 	for _, v := range vals[1:] {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
 		if v < min {
 			min = v
 		}
 		if v > max {
 			max = v
 		}
+	}
+	if math.IsNaN(min) {
+		return math.NaN()
 	}
 	if min <= 0 {
 		return 0

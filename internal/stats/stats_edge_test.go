@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// eq compares two floats treating NaN == NaN as equal, so the tables below
+// can state "this input yields NaN" directly.
+func eq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+var nan = math.NaN()
+
+func TestMedianEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, nan},
+		{"single", []float64{7}, 7},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"even negative", []float64{-4, -1, -3, -2}, -2.5},
+		{"duplicates", []float64{5, 5, 5, 5}, 5},
+		// sort.Float64s orders NaN before every other value, so an odd
+		// slice with one NaN has a well-defined numeric median...
+		{"odd with NaN", []float64{nan, 1, 2}, 1},
+		// ...while interpolating against a NaN order statistic poisons it.
+		{"even with NaN", []float64{1, nan}, nan},
+		{"all NaN", []float64{nan, nan}, nan},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Median(c.in); !eq(got, c.want) {
+				t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSpreadEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 0},
+		{"pair", []float64{2, 3}, 0.5},
+		{"triple", []float64{10, 12, 11}, 0.2},
+		{"identical", []float64{4, 4, 4}, 0},
+		{"non-positive min", []float64{0, 1}, 0},
+		{"negative min", []float64{-1, 1}, 0},
+		// A NaN measurement must poison the metric regardless of position.
+		{"NaN first", []float64{nan, 1}, nan},
+		{"NaN last", []float64{1, nan}, nan},
+		{"NaN middle", []float64{1, nan, 2}, nan},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Spread(c.in); !eq(got, c.want) {
+				t.Errorf("Spread(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestQuartileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		q    float64
+		want float64
+	}{
+		{"empty q1", nil, 0.25, nan},
+		{"single q1", []float64{9}, 0.25, 9},
+		{"single q3", []float64{9}, 0.75, 9},
+		{"odd q1", []float64{1, 2, 3, 4, 5}, 0.25, 2},
+		{"odd q3", []float64{1, 2, 3, 4, 5}, 0.75, 4},
+		{"even q1 interpolates", []float64{1, 2, 3, 4}, 0.25, 1.75},
+		{"even q3 interpolates", []float64{1, 2, 3, 4}, 0.75, 3.25},
+		{"below range clamps", []float64{1, 2}, -0.5, 1},
+		{"above range clamps", []float64{1, 2}, 1.5, 2},
+		{"NaN poisons low quartile", []float64{nan, 1, 2, 3}, 0.25, nan},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.in, c.q); !eq(got, c.want) {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", c.in, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestBoxOfEdgeCases(t *testing.T) {
+	b := BoxOf(nil)
+	for name, v := range map[string]float64{
+		"Min": b.Min, "Q1": b.Q1, "Median": b.Median, "Q3": b.Q3, "Max": b.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("BoxOf(nil).%s = %v, want NaN", name, v)
+		}
+	}
+	if b.N != 0 {
+		t.Errorf("BoxOf(nil).N = %d", b.N)
+	}
+
+	one := BoxOf([]float64{42})
+	if one.Min != 42 || one.Q1 != 42 || one.Median != 42 || one.Q3 != 42 || one.Max != 42 || one.N != 1 {
+		t.Errorf("BoxOf single collapsed wrong: %+v", one)
+	}
+}
