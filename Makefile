@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/sim/...
 
 # Short fuzz smoke over the store key codec; seeds plus 10s of mutation.
 fuzz:

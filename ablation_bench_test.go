@@ -125,7 +125,7 @@ func BenchmarkAblationBlockOrder(b *testing.B) {
 		dev := sim.NewDevice(clk)
 		var order []int
 		prev := -1
-		dev.Launch("order", 512, 64, func(c *sim.Ctx) {
+		dev.LaunchOrdered("order", 512, 64, func(c *sim.Ctx) {
 			if c.Block != prev {
 				order = append(order, c.Block)
 				prev = c.Block

@@ -217,6 +217,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(256*256), "threads/op")
 }
 
+// BenchmarkColdSweep measures an uncached full-suite sweep: a fresh Runner
+// measuring every program's default input at all four clock configurations,
+// exactly what `gpuchar -exp all` pays on startup. This is the workload the
+// parallel block-simulation engine targets; worker counts change only the
+// wall time reported here, never the measured values.
+func BenchmarkColdSweep(b *testing.B) {
+	progs := suites.All()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner() // cold: no cache, full simulation cost
+		if err := r.MeasureAll(progs, kepler.Configs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdSweepSerial is the same sweep restricted to one worker — the
+// pre-parallel engine's behaviour — so the speedup of the worker pool is the
+// ratio of the two benchmarks.
+func BenchmarkColdSweepSerial(b *testing.B) {
+	progs := suites.All()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner()
+		r.Workers = 1
+		if err := r.MeasureAll(progs, kepler.Configs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMeasurementStack measures one full measurement pass (device,
 // power model, sensor, analysis) for a single mid-sized program.
 func BenchmarkMeasurementStack(b *testing.B) {

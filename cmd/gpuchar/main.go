@@ -38,12 +38,14 @@ func main() {
 		reps      = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
 		store     = flag.String("store", "", "measurement cache file: loaded if present, saved on exit")
 		selfcheck = flag.Bool("selfcheck", false, "run the physics-invariant verification sweep instead of the experiments; exit 1 on any violation")
+		workers   = flag.Int("workers", 0, "simulation worker budget shared by concurrent measurements and per-launch block sharding (0 = GOMAXPROCS); never affects measured values")
 	)
 	flag.Parse()
 
 	if *selfcheck {
 		runner := core.NewRunner()
 		runner.Repetitions = *reps
+		runner.Workers = *workers
 		rep, err := check.Run(runner, suites.All(), check.DefaultOptions())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gpuchar:", err)
@@ -69,6 +71,7 @@ func main() {
 
 	runner := core.NewRunner()
 	runner.Repetitions = *reps
+	runner.Workers = *workers
 	programs := suites.All()
 	out := os.Stdout
 

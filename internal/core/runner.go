@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/hashing"
 	"repro/internal/k20power"
 	"repro/internal/kepler"
 	"repro/internal/power"
@@ -69,9 +70,32 @@ type Runner struct {
 	// KeepTraces retains each repetition's raw sensor samples in
 	// Result.Traces, for trace-level verification (costs memory).
 	KeepTraces bool
+	// Workers bounds the runner's total simulation parallelism: concurrent
+	// measurements (MeasureAll fan-out) and the per-launch block sharding
+	// inside each device draw from one shared pool of this size, so the two
+	// layers never oversubscribe the machine. 0 means GOMAXPROCS. Worker
+	// count never affects measured values (the engine is bit-identical for
+	// any worker count), only wall-clock time.
+	Workers int
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	poolOnce sync.Once
+	pool     *sim.WorkerPool
+}
+
+// workerPool returns the runner's shared simulation worker pool, created on
+// first use from Workers.
+func (r *Runner) workerPool() *sim.WorkerPool {
+	r.poolOnce.Do(func() {
+		n := r.Workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.pool = sim.NewWorkerPool(n)
+	})
+	return r.pool
 }
 
 type cacheEntry struct {
@@ -121,6 +145,7 @@ func (r *Runner) Measure(p Program, input string, clk kepler.Clocks) (*Result, e
 // independent noise and runtime jitter, mirroring repeated wall-clock runs.
 func (r *Runner) measure(p Program, input string, clk kepler.Clocks) (*Result, error) {
 	dev := sim.NewDevice(clk)
+	dev.SetWorkerPool(r.workerPool())
 	if err := p.Run(dev, input); err != nil {
 		return nil, fmt.Errorf("%s/%s@%s: %w", p.Name(), input, clk.Name, err)
 	}
@@ -208,15 +233,20 @@ func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInpu
 			}
 		}
 	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	// Each in-flight job holds one slot of the shared worker pool; the
+	// launches inside it borrow any remaining slots for block sharding
+	// (sim.WorkerPool). Total simulation goroutines therefore stay at the
+	// worker budget whether the sweep is wide (many jobs, no spare slots)
+	// or narrow (one job sharding its launches across the whole budget).
+	pool := r.workerPool()
 	errs := make(chan error, len(jobs))
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			pool.Acquire()
+			defer pool.Release(1)
 			if _, err := r.Measure(j.p, j.input, j.clk); err != nil && !isInsufficient(err) {
 				errs <- err
 			}
@@ -235,14 +265,12 @@ func isInsufficient(err error) bool {
 	return err != nil && (errorsIs(err, k20power.ErrInsufficientSamples) || errorsIs(err, k20power.ErrNoActivity))
 }
 
+// seedFor derives the per-repetition noise seed from the measurement
+// identity (see internal/hashing; the Word step separates the fields).
 func seedFor(parts ...any) uint64 {
-	h := uint64(14695981039346656037)
+	h := hashing.New()
 	for _, p := range parts {
-		s := fmt.Sprint(p)
-		for i := 0; i < len(s); i++ {
-			h = (h ^ uint64(s[i])) * 1099511628211
-		}
-		h = (h ^ 0x1f) * 1099511628211
+		h = h.String(fmt.Sprint(p)).Word(0x1f)
 	}
-	return h
+	return h.Sum()
 }

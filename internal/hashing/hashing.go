@@ -1,0 +1,52 @@
+// Package hashing is the one FNV-1a implementation shared by every
+// deterministic seed derivation in the system: the engine's block-schedule
+// seeds, the runner's per-repetition noise seeds, and the input generators'
+// string seeds. Keeping a single implementation matters because golden
+// measurements depend bit-for-bit on these values; a drifting copy would be
+// an invisible physics change.
+package hashing
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash is an incremental 64-bit FNV-1a state. The zero value is NOT a valid
+// state; start from New.
+type Hash uint64
+
+// New returns the FNV-1a offset basis.
+func New() Hash { return fnvOffset }
+
+// String folds the bytes of s into the hash, one FNV-1a step per byte.
+func (h Hash) String(s string) Hash {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ Hash(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// Word folds a full 64-bit value into the hash in a single FNV-1a step (the
+// whole word is XORed at once, unlike String which folds per byte). It
+// doubles as a domain separator between variable-length fields.
+func (h Hash) Word(v uint64) Hash { return (h ^ Hash(v)) * fnvPrime }
+
+// Sum returns the current hash value.
+func (h Hash) Sum() uint64 { return uint64(h) }
+
+// Mix returns the hash value passed through the SplitMix64 finalizer, for
+// consumers that need the high bits to be as well-distributed as the low
+// ones (FNV-1a alone mixes upward only).
+func (h Hash) Mix() uint64 { return Splitmix64(uint64(h)) }
+
+// Splitmix64 is the SplitMix64 finalizer, a high-quality 64-bit mixer.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// String hashes s from a fresh state (the common one-shot case).
+func String(s string) uint64 { return New().String(s).Sum() }

@@ -1,0 +1,59 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The exact FNV-1a values are load-bearing: block-schedule seeds and sensor
+// noise seeds derive from them, and the golden measurement corpus pins the
+// results. These constants are the reference values of the algorithm.
+func TestKnownValues(t *testing.T) {
+	if got := String(""); got != 14695981039346656037 {
+		t.Errorf("String(\"\") = %d, want the FNV-1a offset basis", got)
+	}
+	// Reference FNV-1a 64-bit test vector.
+	if got := String("a"); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("String(\"a\") = %#x, want 0xaf63dc4c8601ec8c", got)
+	}
+	if got := String("foobar"); got != 0x85944171f73967e8 {
+		t.Errorf("String(\"foobar\") = %#x, want 0x85944171f73967e8", got)
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	f := func(a, b string) bool {
+		return New().String(a).String(b).Sum() == String(a+b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSeparates(t *testing.T) {
+	// Word must distinguish concatenations that String alone cannot.
+	ab := New().String("ab").Word(0x1f).String("c").Sum()
+	abc := New().String("a").Word(0x1f).String("bc").Sum()
+	if ab == abc {
+		t.Error("Word separator failed to distinguish field boundaries")
+	}
+	// And a Word step must differ from folding the same value per byte.
+	if New().Word('x').Sum() != New().String("x").Sum() {
+		// Single ASCII byte: XORing the whole word equals XORing the byte.
+		t.Error("Word of a single byte should match String of that byte")
+	}
+}
+
+func TestMixChangesValueDeterministically(t *testing.T) {
+	h := New().String("seed")
+	if h.Mix() == h.Sum() {
+		t.Error("Mix returned the unfinalized value")
+	}
+	if h.Mix() != h.Mix() {
+		t.Error("Mix not deterministic")
+	}
+	// SplitMix64 is a bijection; nearby inputs must not collide.
+	if Splitmix64(1) == Splitmix64(2) {
+		t.Error("Splitmix64 collision on adjacent inputs")
+	}
+}

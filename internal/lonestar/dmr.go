@@ -111,7 +111,9 @@ func (p *DMR) Run(dev *sim.Device, input string) error {
 		}
 		var winners []job
 		conflicts := 0
-		dev.Launch("refine_cavities", (len(bad)+127)/128, 128, func(c *sim.Ctx) {
+		// Ordered: cavity claims go to a shared map; the claim order IS the
+		// block-scheduling order (the source of the timing dependence).
+		dev.LaunchOrdered("refine_cavities", (len(bad)+127)/128, 128, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(bad) {
 				return
@@ -164,7 +166,8 @@ func (p *DMR) Run(dev *sim.Device, input string) error {
 		// Kernel 3: retriangulate the claimed cavities (the winners write
 		// the new triangles).
 		if len(winners) > 0 {
-			dev.Launch("retriangulate", (len(winners)+127)/128, 128, func(c *sim.Ctx) {
+			// Ordered: winners retriangulate the one shared mesh in turn.
+			dev.LaunchOrdered("retriangulate", (len(winners)+127)/128, 128, func(c *sim.Ctx) {
 				i := c.TID()
 				if i >= len(winners) {
 					return

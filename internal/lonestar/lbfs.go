@@ -156,7 +156,8 @@ func runBFSTopology(dev *sim.Device, g *graph.Graph, lev []int32, mem *bfsMem) e
 	for {
 		changed := false
 		copy(next, lev)
-		dev.Launch("drelax", (g.N+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: all blocks write the shared changed flag.
+		dev.LaunchOrdered("drelax", (g.N+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= g.N {
 				return
@@ -197,7 +198,9 @@ func runBFSAtomic(dev *sim.Device, g *graph.Graph, lev []int32, mem *bfsMem) err
 	const inf = int32(1 << 30)
 	for {
 		changed := false
-		dev.Launch("drelax_atomic", (g.N+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: in-place atomicMin updates propagate in block-scheduling
+		// order — the flavor's defining (clock-dependent) behaviour.
+		dev.LaunchOrdered("drelax_atomic", (g.N+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= g.N {
 				return
@@ -238,7 +241,8 @@ func runBFSWLA(dev *sim.Device, g *graph.Graph, lev []int32, mem *bfsMem) error 
 	for {
 		changed := false
 		next := make([]int8, g.N)
-		dev.Launch("drelax_wla", (g.N+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: blocks race on scattered level/flag writes and changed.
+		dev.LaunchOrdered("drelax_wla", (g.N+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= g.N {
 				return
@@ -304,7 +308,8 @@ func runBFSWorklist(dev *sim.Device, g *graph.Graph, lev []int32, mem *bfsMem, e
 			if len(edges) == 0 {
 				break
 			}
-			dev.Launch("worklist_process_edge", (len(edges)+255)/256, 256, func(c *sim.Ctx) {
+			// Ordered: blocks race on levels and the shared next queue.
+			dev.LaunchOrdered("worklist_process_edge", (len(edges)+255)/256, 256, func(c *sim.Ctx) {
 				i := c.TID()
 				if i >= len(edges) {
 					return
@@ -323,7 +328,8 @@ func runBFSWorklist(dev *sim.Device, g *graph.Graph, lev []int32, mem *bfsMem, e
 			})
 		} else {
 			cur := frontier
-			dev.Launch("worklist_process_node", (len(cur)+255)/256, 256, func(c *sim.Ctx) {
+			// Ordered: blocks race on levels and the shared next queue.
+			dev.LaunchOrdered("worklist_process_node", (len(cur)+255)/256, 256, func(c *sim.Ctx) {
 				i := c.TID()
 				if i >= len(cur) {
 					return

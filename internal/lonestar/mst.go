@@ -106,7 +106,8 @@ func (p *MST) Run(dev *sim.Device, input string) error {
 		// Kernel 2: find the minimum outgoing edge per component
 		// (node-parallel scan with atomic minimum per component root).
 		best := make(map[int32]pick)
-		dev.Launch("dfindelemin", (g.N+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: every block updates the shared per-component best map.
+		dev.LaunchOrdered("dfindelemin", (g.N+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= g.N {
 				return
@@ -146,7 +147,8 @@ func (p *MST) Run(dev *sim.Device, input string) error {
 		}
 		sort.Slice(roots, func(a, b int) bool { return roots[a] < roots[b] })
 		merged := 0
-		dev.Launch("dfindcompmintwo", (len(roots)+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: unions mutate the shared union-find forest and totals.
+		dev.LaunchOrdered("dfindcompmintwo", (len(roots)+255)/256, 256, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(roots) {
 				return
@@ -170,7 +172,8 @@ func (p *MST) Run(dev *sim.Device, input string) error {
 		})
 
 		// Kernel 4: pointer jumping to flatten the component forest.
-		dev.Launch("dverify_min_elem", (g.N+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: threads read parent chains other blocks are compressing.
+		dev.LaunchOrdered("dverify_min_elem", (g.N+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= g.N {
 				return

@@ -148,7 +148,9 @@ func (p *NSP) Run(dev *sim.Device, input string) error {
 		iters := 0
 		for ; iters < nspMaxIters; iters++ {
 			residual = 0
-			dev.Launch("update_eta", (nc+127)/128, 128, func(c *sim.Ctx) {
+			// Ordered: Gauss-Seidel sweeps read surveys other blocks are
+			// writing, and every block updates the shared residual.
+			dev.LaunchOrdered("update_eta", (nc+127)/128, 128, func(c *sim.Ctx) {
 				a := c.TID()
 				if a >= nc {
 					return
@@ -212,7 +214,8 @@ func (p *NSP) Run(dev *sim.Device, input string) error {
 
 		// Kernel 2: compute variable biases.
 		var biases []nspBias
-		dev.Launch("compute_bias", (nv+127)/128, 128, func(c *sim.Ctx) {
+		// Ordered: every block appends to the one shared candidate list.
+		dev.LaunchOrdered("compute_bias", (nv+127)/128, 128, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= nv {
 				return
@@ -245,7 +248,8 @@ func (p *NSP) Run(dev *sim.Device, input string) error {
 			nFix = len(biases)
 		}
 		sel := biases[:nFix]
-		dev.Launch("decimate", (len(sel)+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: decimation writes the shared fixed/assign maps.
+		dev.LaunchOrdered("decimate", (len(sel)+255)/256, 256, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(sel) {
 				return

@@ -134,7 +134,9 @@ func (p *PTA) Run(dev *sim.Device, input string) error {
 		// Copy-edge propagation kernel (the bulk of PTA's 40 kernels are
 		// variants of this rule over partitioned edge ranges).
 		edges := edgeList
-		dev.Launch("pta_copy_rule", (len(edges)+127)/128, 128, func(c *sim.Ctx) {
+		// Ordered: unions read points-to sets other blocks are widening and
+		// every block writes the shared changed flag.
+		dev.LaunchOrdered("pta_copy_rule", (len(edges)+127)/128, 128, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(edges) {
 				return
@@ -152,7 +154,8 @@ func (p *PTA) Run(dev *sim.Device, input string) error {
 		})
 		// Load rule: p = *q adds edges p <- t for every t in pts(q).
 		before := len(edgeList)
-		dev.Launch("pta_load_rule", (len(cs.loads)+127)/128, 128, func(c *sim.Ctx) {
+		// Ordered: all blocks append to the shared constraint edge list.
+		dev.LaunchOrdered("pta_load_rule", (len(cs.loads)+127)/128, 128, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(cs.loads) {
 				return
@@ -176,7 +179,8 @@ func (p *PTA) Run(dev *sim.Device, input string) error {
 			}
 		})
 		// Store rule: *p = q adds edges t <- q for every t in pts(p).
-		dev.Launch("pta_store_rule", (len(cs.stores)+127)/128, 128, func(c *sim.Ctx) {
+		// Ordered: all blocks append to the shared constraint edge list.
+		dev.LaunchOrdered("pta_store_rule", (len(cs.stores)+127)/128, 128, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(cs.stores) {
 				return

@@ -105,7 +105,9 @@ func (p *SSSP) Run(dev *sim.Device, input string) error {
 		// per sweep in block-scheduling order.
 		for {
 			changed := false
-			dev.Launch("drelax", (g.N+255)/256, 256, func(c *sim.Ctx) {
+			// Ordered: in-place atomicMin relaxation propagates in
+			// block-scheduling order (the paper's timing dependence).
+			dev.LaunchOrdered("drelax", (g.N+255)/256, 256, func(c *sim.Ctx) {
 				v := c.TID()
 				if v >= g.N {
 					return
@@ -157,7 +159,8 @@ func (p *SSSP) Run(dev *sim.Device, input string) error {
 			if len(edges) == 0 {
 				break
 			}
-			dev.Launch("sssp_wlc_kernel", (len(edges)+255)/256, 256, func(c *sim.Ctx) {
+			// Ordered: blocks race on dist and the shared dedup/next queue.
+			dev.LaunchOrdered("sssp_wlc_kernel", (len(edges)+255)/256, 256, func(c *sim.Ctx) {
 				i := c.TID()
 				if i >= len(edges) {
 					return
@@ -199,7 +202,8 @@ func (p *SSSP) Run(dev *sim.Device, input string) error {
 			cur := frontier
 			snap := append([]int64(nil), dist...)
 			var next []int32
-			dev.Launch("sssp_wln_kernel", (len(cur)+255)/256, 256, func(c *sim.Ctx) {
+			// Ordered: blocks race on dist and append to the shared queue.
+			dev.LaunchOrdered("sssp_wln_kernel", (len(cur)+255)/256, 256, func(c *sim.Ctx) {
 				i := c.TID()
 				if i >= len(cur) {
 					return

@@ -73,8 +73,9 @@ func (p *Histo) Run(dev *sim.Device, input string) error {
 		}
 	})
 
-	// Kernel 3: the main histogramming kernel.
-	lm := dev.Launch("histo_main", (histoPixels+255)/256, 256, func(c *sim.Ctx) {
+	// Kernel 3: the main histogramming kernel. Ordered: threads of every
+	// block increment the same shared saturating bins.
+	lm := dev.LaunchOrdered("histo_main", (histoPixels+255)/256, 256, func(c *sim.Ctx) {
 		i := c.TID()
 		if i >= histoPixels {
 			return

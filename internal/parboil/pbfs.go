@@ -76,8 +76,10 @@ func (p *PBFS) Run(dev *sim.Device, input string) error {
 		cur := frontier
 		var next []int32
 		grid := (len(cur) + 127) / 128
-		// Kernel 2: expand the frontier (the hot kernel).
-		dev.Launch("bfsKernel", grid, 128, func(c *sim.Ctx) {
+		// Kernel 2: expand the frontier (the hot kernel). Ordered: threads
+		// of different blocks race on the level array and append to the
+		// shared next-frontier queue.
+		dev.LaunchOrdered("bfsKernel", grid, 128, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= len(cur) {
 				return

@@ -73,7 +73,8 @@ func (p *TPACF) Run(dev *sim.Device, input string) error {
 		return b
 	}
 
-	l := dev.LaunchShared("gen_hists", (tpacfN+127)/128, 128, tpacfBins*8, func(c *sim.Ctx) {
+	// Ordered: every block accumulates into the one shared histogram.
+	l := dev.LaunchSharedOrdered("gen_hists", (tpacfN+127)/128, 128, tpacfBins*8, func(c *sim.Ctx) {
 		i := c.TID()
 		if i >= tpacfN {
 			return

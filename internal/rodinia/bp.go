@@ -59,9 +59,10 @@ func (p *BP) Run(dev *sim.Device, input string) error {
 	dHid := dev.NewArray(bpHid, 4)
 
 	// Kernel 1: layer forward — each block reduces a slice of input*weight
-	// products into partial hidden sums.
+	// products into partial hidden sums. Ordered: every thread accumulates
+	// into the shared float64 hidden sums, a block-order-dependent effect.
 	hidden := make([]float64, bpHid)
-	l1 := dev.LaunchShared("bpnn_layerforward_CUDA", bpIn/256, 256, bpHid*256/16*4, func(c *sim.Ctx) {
+	l1 := dev.LaunchSharedOrdered("bpnn_layerforward_CUDA", bpIn/256, 256, bpHid*256/16*4, func(c *sim.Ctx) {
 		i := c.TID()
 		c.Load(dIn.At(i), 4)
 		for j := 0; j < bpHid; j++ {

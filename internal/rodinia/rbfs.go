@@ -77,8 +77,9 @@ func (p *RBFS) Run(dev *sim.Device, input string) error {
 	more := true
 	for more {
 		more = false
-		// Kernel 1: expand masked nodes.
-		dev.Launch("Kernel", (n+255)/256, 256, func(c *sim.Ctx) {
+		// Kernel 1: expand masked nodes. Ordered: threads of different
+		// blocks write the same scattered cost/updating entries.
+		dev.LaunchOrdered("Kernel", (n+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= n {
 				return
@@ -103,8 +104,9 @@ func (p *RBFS) Run(dev *sim.Device, input string) error {
 			}
 			c.IntOps(6 + 2*len(row))
 		})
-		// Kernel 2: commit updates into the next frontier.
-		dev.Launch("Kernel2", (n+255)/256, 256, func(c *sim.Ctx) {
+		// Kernel 2: commit updates into the next frontier. Ordered: all
+		// blocks write the shared `more` flag.
+		dev.LaunchOrdered("Kernel2", (n+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= n {
 				return

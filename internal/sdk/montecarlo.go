@@ -2,6 +2,7 @@ package sdk
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -155,6 +156,7 @@ func (p *EP) Run(dev *sim.Device, input string) error {
 	return nil
 }
 
-// atomicAdd is a plain add: the engine executes threads sequentially, so no
-// synchronization is needed; the name mirrors the CUDA operation.
-func atomicAdd(p *int64, v int64) { *p += v }
+// atomicAdd mirrors the CUDA operation. It must be a real atomic: the
+// engine may shard a launch's blocks across workers, and integer addition is
+// commutative, so the total stays deterministic either way.
+func atomicAdd(p *int64, v int64) { atomic.AddInt64(p, v) }

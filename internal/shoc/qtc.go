@@ -106,7 +106,8 @@ func (p *QTC) Run(dev *sim.Device, input string) error {
 		best := -1
 		bestSize := 0
 		bestMembers := []int{}
-		dev.Launch("QTC_device", (qtcPoints+127)/128, 128, func(c *sim.Ctx) {
+		// Ordered: all blocks compete to update the shared best cluster.
+		dev.LaunchOrdered("QTC_device", (qtcPoints+127)/128, 128, func(c *sim.Ctx) {
 			i := c.TID()
 			if i >= qtcPoints || !alive[i] {
 				c.IntOps(2)

@@ -88,7 +88,9 @@ func (p *SBFS) Run(dev *sim.Device, input string) error {
 		// The frontier-expansion kernel scans every node every level; the
 		// IIIT algorithm also re-reads the frontier flags of all neighbors
 		// and uses word-sized flags (4B per flag), wasting bandwidth.
-		dev.Launch("BFS_kernel_warp", (n+255)/256, 256, func(c *sim.Ctx) {
+		// Ordered: blocks race on the scattered visited/cost/frontier flags
+		// and the shared changed bit.
+		dev.LaunchOrdered("BFS_kernel_warp", (n+255)/256, 256, func(c *sim.Ctx) {
 			v := c.TID()
 			if v >= n {
 				return

@@ -62,9 +62,10 @@ func (p *ST) Run(dev *sim.Device, input string) error {
 
 	for shift := 0; shift < 32; shift += sortBits {
 		shift := shift
-		// Kernel 1: per-block digit histograms.
+		// Kernel 1: per-block digit histograms. Ordered: every block
+		// increments the one shared digit histogram.
 		hist := make([]int, sortRadix)
-		dev.Launch("radixSortBlocks", sortN/256, 256, func(c *sim.Ctx) {
+		dev.LaunchOrdered("radixSortBlocks", sortN/256, 256, func(c *sim.Ctx) {
 			i := c.TID()
 			d := (keys[i] >> uint(shift)) & (sortRadix - 1)
 			hist[d]++

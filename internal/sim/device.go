@@ -4,17 +4,22 @@
 // operations they would issue, and the engine converts the recorded
 // warp-level statistics into kernel execution times on a simulated clock.
 //
-// The engine is deterministic: thread blocks execute sequentially in an
-// order derived from a hash of the kernel, the launch sequence number and
-// the clock configuration. Irregular programs that self-schedule work
-// through atomics therefore observe genuinely configuration-dependent
-// orderings, reproducing the paper's timing-dependent behaviour of irregular
-// codes without any explicit fudge factor.
+// The engine is deterministic. Kernels launched with LaunchOrdered execute
+// their thread blocks sequentially in an order derived from a hash of the
+// kernel, the launch sequence number and the clock configuration; irregular
+// programs that self-schedule work through atomics therefore observe
+// genuinely configuration-dependent orderings, reproducing the paper's
+// timing-dependent behaviour of irregular codes without any explicit fudge
+// factor. Kernels launched with Launch declare their blocks independent and
+// may have them sharded across a worker pool (see WorkerPool) — with
+// bit-identical results, because the statistics merge is associative and
+// commutative and per-block timing is indexed by block id (see LaunchSpec).
 package sim
 
 import (
 	"fmt"
 
+	"repro/internal/hashing"
 	"repro/internal/kepler"
 	"repro/internal/trace"
 )
@@ -75,15 +80,17 @@ type Device struct {
 	nextAddr Addr
 	now      float64
 	seq      int
-	seed     uint64
 
 	// interLaunchGap is the host-side time between consecutive launches.
 	interLaunchGap float64
 	// timeScale is applied to every subsequent launch (see Launch.Scale).
 	timeScale float64
 
-	// lanes are the reusable per-lane logs of the warp being executed.
-	lanes [kepler.WarpSize]*trace.LaneLog
+	// exec is the caller-goroutine block executor, reused across launches;
+	// parallel launches borrow additional executors from a shared pool.
+	exec *blockExecutor
+	// pool is the worker budget parallel launches draw extra workers from.
+	pool *WorkerPool
 	// blockCycles is reused across launches for per-block issue cycles.
 	blockCycles []float64
 }
@@ -98,12 +105,17 @@ func NewDevice(clk kepler.Clocks) *Device {
 		nextAddr:       4096, // keep 0 unused so Addr(0) can mean "nil"
 		interLaunchGap: 40e-6,
 		timeScale:      1,
-	}
-	for i := range d.lanes {
-		d.lanes[i] = &trace.LaneLog{}
+		exec:           newBlockExecutor(),
+		pool:           defaultPool,
 	}
 	return d
 }
+
+// SetWorkerPool sets the pool this device draws extra block-simulation
+// workers from; nil disables intra-launch sharding entirely. Measurements
+// that already run many devices concurrently (core.Runner) pass their own
+// pool so cross-job and intra-launch parallelism share one budget.
+func (d *Device) SetWorkerPool(p *WorkerPool) { d.pool = p }
 
 // Now returns the simulated time in seconds.
 func (d *Device) Now() float64 { return d.now }
@@ -218,29 +230,12 @@ func (d *Device) Repeat(l *Launch, n int) {
 // configuration, so the same program run at a different frequency observes a
 // different (but reproducible) block execution order.
 func (d *Device) launchSeed(name string, seq int) uint64 {
-	h := uint64(fnvOffset)
-	for i := 0; i < len(name); i++ {
-		h = (h ^ uint64(name[i])) * fnvPrime
-	}
-	h = (h ^ uint64(seq)) * fnvPrime
-	h = (h ^ uint64(d.Clocks.CoreMHz)) * fnvPrime
-	h = (h ^ uint64(d.Clocks.MemMHz)) * fnvPrime
+	h := hashing.New().String(name).
+		Word(uint64(seq)).
+		Word(uint64(d.Clocks.CoreMHz)).
+		Word(uint64(d.Clocks.MemMHz))
 	if d.Clocks.ECC {
-		h = (h ^ 0x9e3779b9) * fnvPrime
+		h = h.Word(0x9e3779b9)
 	}
-	return splitmix64(h)
-}
-
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
-// splitmix64 is the SplitMix64 finalizer, a high-quality 64-bit mixer.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	z := x
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return h.Mix()
 }

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/kepler"
 	"repro/internal/trace"
 )
@@ -11,13 +14,27 @@ type LaunchSpec struct {
 	Grid           int // number of thread blocks
 	Block          int // threads per block
 	SharedPerBlock int // shared-memory bytes per block
+
+	// Ordered declares that the kernel's Go-side effects depend on the
+	// order in which thread blocks execute: shared accumulators, worklist
+	// appends, in-place relaxations visible mid-launch, and similar
+	// self-scheduling idioms of the irregular codes. Ordered kernels run
+	// their blocks sequentially in the deterministic, configuration-
+	// dependent permutation (the engine's documented mechanism for
+	// config-dependent irregular behaviour). Unordered kernels — whose
+	// threads touch disjoint Go state — may have their blocks sharded
+	// across a worker pool; results are bit-identical either way.
+	Ordered bool
 }
 
 // Launch executes a kernel of grid x block threads and returns its record.
-// Thread blocks run sequentially in a deterministic, configuration-dependent
-// order (see Device docs); within a block, warps run in order and the 32
-// lanes of a warp run lane 0 first. The kernel function performs the real
-// computation and records hardware operations through the Ctx.
+// The kernel function performs the real computation and records hardware
+// operations through the Ctx. Blocks of an unordered launch may be simulated
+// concurrently, so fn must not mutate Go state shared between threads of
+// different blocks (threads writing disjoint slice elements is the common
+// safe pattern); kernels that need the sequential block schedule declare it
+// via LaunchOrdered. Within a block, warps run in order and the 32 lanes of
+// a warp run lane 0 first.
 func (d *Device) Launch(name string, grid, block int, fn ThreadFunc) *Launch {
 	return d.LaunchSpec(LaunchSpec{Name: name, Grid: grid, Block: block}, fn)
 }
@@ -27,7 +44,29 @@ func (d *Device) LaunchShared(name string, grid, block, sharedPerBlock int, fn T
 	return d.LaunchSpec(LaunchSpec{Name: name, Grid: grid, Block: block, SharedPerBlock: sharedPerBlock}, fn)
 }
 
+// LaunchOrdered executes a kernel whose Go-side effects are block-order
+// dependent: blocks run sequentially in the deterministic, configuration-
+// dependent permutation (see Device docs). Irregular kernels that
+// self-schedule through shared state belong here.
+func (d *Device) LaunchOrdered(name string, grid, block int, fn ThreadFunc) *Launch {
+	return d.LaunchSpec(LaunchSpec{Name: name, Grid: grid, Block: block, Ordered: true}, fn)
+}
+
+// LaunchSharedOrdered is LaunchOrdered with a shared-memory allocation per
+// block.
+func (d *Device) LaunchSharedOrdered(name string, grid, block, sharedPerBlock int, fn ThreadFunc) *Launch {
+	return d.LaunchSpec(LaunchSpec{Name: name, Grid: grid, Block: block, SharedPerBlock: sharedPerBlock, Ordered: true}, fn)
+}
+
 // LaunchSpec executes a kernel described by spec.
+//
+// Determinism contract: the Launch record is bit-identical no matter how
+// many workers simulate the blocks, because (a) every KernelStats field is
+// an int64 counter, so merging per-worker partials is exactly associative
+// and commutative; (b) per-block issue cycles are stored indexed by block
+// id, so the timing model never observes completion order; and (c) partials
+// are folded in ascending worker index (trace.MergePartials), fixing the
+// reduction order by construction.
 func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
 	if spec.Grid <= 0 || spec.Block <= 0 {
 		panic("sim: launch with empty grid or block")
@@ -46,40 +85,10 @@ func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
 	blockCycles := d.blockCycles[:spec.Grid]
 
 	var stats trace.KernelStats
-	ctx := Ctx{BlockDim: spec.Block, GridDim: spec.Grid}
-
-	seed := d.launchSeed(spec.Name, seq)
-	stride, offset := scheduleParams(seed, spec.Grid)
-
-	lanes := make([]*trace.LaneLog, kepler.WarpSize)
-	for i := range lanes {
-		lanes[i] = d.lanes[i]
-	}
-
-	b := offset
-	for i := 0; i < spec.Grid; i++ {
-		var blockStats trace.KernelStats
-		ctx.Block = b
-		for warpBase := 0; warpBase < spec.Block; warpBase += kepler.WarpSize {
-			for ln := 0; ln < kepler.WarpSize; ln++ {
-				d.lanes[ln].Reset()
-				t := warpBase + ln
-				if t >= spec.Block {
-					continue
-				}
-				ctx.Thread = t
-				ctx.lane = d.lanes[ln]
-				fn(&ctx)
-			}
-			trace.MergeWarp(lanes, &blockStats)
-		}
-		blockCycles[b] = issueCycles(&blockStats)
-		stats.Add(&blockStats)
-
-		b += stride
-		if b >= spec.Grid {
-			b -= spec.Grid
-		}
+	if spec.Ordered {
+		d.runOrdered(spec, fn, d.launchSeed(spec.Name, seq), blockCycles, &stats)
+	} else {
+		d.runSharded(spec, fn, blockCycles, &stats)
 	}
 
 	// Host-side gap before this launch (driver/launch overhead).
@@ -107,6 +116,94 @@ func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
 	d.now += l.Duration
 	d.Launches = append(d.Launches, l)
 	return l
+}
+
+// runOrdered simulates the blocks sequentially on the caller, visiting them
+// in the seed-derived permutation. This is the path order-dependent kernels
+// take; it is byte-for-byte the pre-parallel engine.
+func (d *Device) runOrdered(spec LaunchSpec, fn ThreadFunc, seed uint64, blockCycles []float64, stats *trace.KernelStats) {
+	stride, offset := scheduleParams(seed, spec.Grid)
+	b := offset
+	for i := 0; i < spec.Grid; i++ {
+		bs := d.exec.runBlock(spec, fn, b)
+		blockCycles[b] = issueCycles(&bs)
+		stats.Add(&bs)
+
+		b += stride
+		if b >= spec.Grid {
+			b -= spec.Grid
+		}
+	}
+}
+
+// Parallelization thresholds: launches below them are simulated inline on
+// the caller — sharding a handful of blocks costs more in goroutine and
+// pool traffic than it saves.
+const (
+	minShardBlocks  = 4
+	minShardThreads = 2048
+	// minBlocksPerWorker keeps each worker busy with at least a few blocks
+	// so the per-worker setup amortizes.
+	minBlocksPerWorker = 2
+)
+
+// runSharded simulates the blocks of an unordered launch, sharded across
+// extra workers from the device's pool when any are free. Workers pull
+// block ids from an atomic counter (dynamic load balancing — irregular
+// kernels have heavily imbalanced blocks); each accumulates a private
+// partial KernelStats, and the partials are merged in worker-index order.
+func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float64, stats *trace.KernelStats) {
+	extra := 0
+	if pool := d.pool; pool != nil && spec.Grid >= minShardBlocks && spec.Grid*spec.Block >= minShardThreads {
+		want := spec.Grid / minBlocksPerWorker
+		if b := pool.Budget(); want > b {
+			want = b
+		}
+		// The caller is worker 0; ask the pool only for the rest.
+		extra = pool.TryAcquire(want - 1)
+		if extra > 0 {
+			defer pool.Release(extra)
+		}
+	}
+
+	if extra == 0 {
+		// Inline: ascending block id on the caller's executor. Unordered
+		// kernels never observe the schedule permutation, so worker
+		// availability cannot change what fn computes.
+		for b := 0; b < spec.Grid; b++ {
+			bs := d.exec.runBlock(spec, fn, b)
+			blockCycles[b] = issueCycles(&bs)
+			stats.Add(&bs)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	partials := make([]trace.KernelStats, extra+1)
+	work := func(w int, e *blockExecutor) {
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= spec.Grid {
+				return
+			}
+			bs := e.runBlock(spec, fn, b)
+			blockCycles[b] = issueCycles(&bs)
+			partials[w].Add(&bs)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 1; w <= extra; w++ {
+		go func(w int) {
+			defer wg.Done()
+			e := executorPool.Get().(*blockExecutor)
+			defer executorPool.Put(e)
+			work(w, e)
+		}(w)
+	}
+	work(0, d.exec)
+	wg.Wait()
+	trace.MergePartials(stats, partials)
 }
 
 // scheduleParams derives a block-visit permutation (b = offset + i*stride mod

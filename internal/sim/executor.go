@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/kepler"
+	"repro/internal/trace"
+)
+
+// blockExecutor owns the per-warp lane state needed to simulate thread
+// blocks. It carries no cross-block state — lanes are reset per warp — so
+// simulating a block is a pure function of (spec, fn, block id): distinct
+// executors may simulate distinct blocks of the same launch concurrently,
+// and the same executor reproduces the same per-block statistics regardless
+// of which blocks it simulated before.
+type blockExecutor struct {
+	lanes [kepler.WarpSize]*trace.LaneLog
+	// view is a slice header over lanes for trace.MergeWarp.
+	view []*trace.LaneLog
+}
+
+func newBlockExecutor() *blockExecutor {
+	e := &blockExecutor{}
+	e.view = make([]*trace.LaneLog, kepler.WarpSize)
+	for i := range e.lanes {
+		e.lanes[i] = &trace.LaneLog{}
+		e.view[i] = e.lanes[i]
+	}
+	return e
+}
+
+// runBlock simulates one thread block of a launch: warps in order, the 32
+// lanes of each warp with lane 0 first, each warp merged into the block's
+// statistics as it retires. The returned KernelStats describe exactly this
+// block.
+func (e *blockExecutor) runBlock(spec LaunchSpec, fn ThreadFunc, block int) trace.KernelStats {
+	var bs trace.KernelStats
+	ctx := Ctx{Block: block, BlockDim: spec.Block, GridDim: spec.Grid}
+	for warpBase := 0; warpBase < spec.Block; warpBase += kepler.WarpSize {
+		for ln := 0; ln < kepler.WarpSize; ln++ {
+			e.lanes[ln].Reset()
+			t := warpBase + ln
+			if t >= spec.Block {
+				continue
+			}
+			ctx.Thread = t
+			ctx.lane = e.lanes[ln]
+			fn(&ctx)
+		}
+		trace.MergeWarp(e.view, &bs)
+	}
+	return bs
+}
+
+// executorPool recycles blockExecutors (and the op buffers their lane logs
+// have grown) across parallel launches.
+var executorPool = sync.Pool{New: func() any { return newBlockExecutor() }}

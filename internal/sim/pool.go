@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// WorkerPool is a budget of simulation workers shared between concurrent
+// measurements (cross-job parallelism in core.MeasureAll) and the block
+// sharding inside a single kernel launch, so the two layers draw from one
+// GOMAXPROCS-sized pool instead of multiplying against each other.
+//
+// The protocol: a goroutine that simulates a device full-time holds one slot
+// via Acquire/Release; a launch that wants to shard its blocks asks for
+// additional workers with TryAcquire, which never blocks — when the pool is
+// saturated by sibling jobs the launch simply runs on its caller, which is
+// exactly the work-conserving outcome. Worker count never affects results
+// (see Launch), so this adaptivity is safe.
+type WorkerPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget int
+	inUse  int
+}
+
+// NewWorkerPool returns a pool with n worker slots (min 1).
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &WorkerPool{budget: n}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Budget returns the pool size.
+func (p *WorkerPool) Budget() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budget
+}
+
+// Acquire blocks until a slot is free and claims it.
+func (p *WorkerPool) Acquire() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.inUse >= p.budget {
+		p.cond.Wait()
+	}
+	p.inUse++
+}
+
+// TryAcquire claims up to max slots without blocking and returns how many it
+// actually claimed (possibly zero).
+func (p *WorkerPool) TryAcquire(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.budget - p.inUse
+	if n > max {
+		n = max
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.inUse += n
+	return n
+}
+
+// Release returns n previously claimed slots.
+func (p *WorkerPool) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.inUse -= n
+	if p.inUse < 0 {
+		p.inUse = 0
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// defaultPool is the process-wide pool used by devices that were not given
+// an explicit one (standalone NewDevice callers, tests, examples).
+var defaultPool = NewWorkerPool(runtime.GOMAXPROCS(0))
+
+// DefaultWorkerPool returns the process-wide worker pool.
+func DefaultWorkerPool() *WorkerPool { return defaultPool }

@@ -62,7 +62,7 @@ func TestLaunchBlockOrderDependsOnConfig(t *testing.T) {
 		d := NewDevice(clk)
 		var got []int
 		prev := -1
-		d.Launch("order", 64, 32, func(c *Ctx) {
+		d.LaunchOrdered("order", 64, 32, func(c *Ctx) {
 			if c.Block != prev {
 				got = append(got, c.Block)
 				prev = c.Block

@@ -4,6 +4,14 @@ package trace
 // block of a kernel). All instruction counts are warp-instruction issue slots
 // after branch-divergence serialization: a warp whose lanes took two distinct
 // control-flow paths executes the instructions of both paths serially.
+//
+// Every field is an int64 counter — deliberately. Integer addition is
+// exactly associative and commutative, so accumulating per-block statistics
+// through Add yields bit-identical totals no matter how the blocks were
+// grouped or ordered; the parallel launch engine (internal/sim) depends on
+// this to merge per-worker partials deterministically. Do not add float
+// fields: float addition is order-dependent, and any derived ratio belongs
+// in a method instead.
 type KernelStats struct {
 	// Warps is the number of warps merged.
 	Warps int64
@@ -46,6 +54,17 @@ type KernelStats struct {
 
 	// Syncs counts block-wide barrier instructions.
 	Syncs int64
+}
+
+// MergePartials folds per-worker partial sums into dst in ascending index
+// order. Because Add is exactly associative and commutative (all-int64
+// counters), the result does not depend on how blocks were distributed
+// across the partials; folding in a fixed order makes the reduction
+// deterministic by construction rather than by argument.
+func MergePartials(dst *KernelStats, partials []KernelStats) {
+	for i := range partials {
+		dst.Add(&partials[i])
+	}
 }
 
 // Add accumulates other into s.

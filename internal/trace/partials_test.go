@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// statsFrom fills a KernelStats from a compact byte vector so quick can
+// generate arbitrary per-block statistics.
+func statsFrom(v [8]uint8) KernelStats {
+	return KernelStats{
+		Warps:       int64(v[0]),
+		Slots:       int64(v[1]),
+		IntInsts:    int64(v[2]),
+		FP32Insts:   int64(v[3]),
+		LoadSlots:   int64(v[4]),
+		GlobalTxns:  int64(v[5]),
+		Atomics:     int64(v[6]),
+		SharedSlots: int64(v[7]),
+	}
+}
+
+// TestMergePartialsPartitionInvariant is the associativity property the
+// parallel engine rests on: however the per-block stats are partitioned
+// across workers, the merged total is bit-identical to the sequential sum.
+func TestMergePartialsPartitionInvariant(t *testing.T) {
+	f := func(blocks [][8]uint8, cuts [4]uint8) bool {
+		// Sequential reference: fold every block in order.
+		var want KernelStats
+		for i := range blocks {
+			bs := statsFrom(blocks[i])
+			want.Add(&bs)
+		}
+		// Partition the blocks into up to 5 "workers" at arbitrary cut
+		// points, in arbitrary (round-robin by cut hash) assignment.
+		nw := 1 + int(cuts[0])%5
+		partials := make([]KernelStats, nw)
+		for i := range blocks {
+			w := (i + int(cuts[i%4])) % nw
+			bs := statsFrom(blocks[i])
+			partials[w].Add(&bs)
+		}
+		var got KernelStats
+		MergePartials(&got, partials)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

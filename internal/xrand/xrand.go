@@ -3,7 +3,11 @@
 // program with a given input name sees exactly the same data.
 package xrand
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/hashing"
+)
 
 // RNG is a deterministic SplitMix64 stream.
 type RNG struct{ state uint64 }
@@ -59,11 +63,5 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
-// HashString hashes a string to a seed (FNV-1a).
-func HashString(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * 1099511628211
-	}
-	return h
-}
+// HashString hashes a string to a seed (FNV-1a, see internal/hashing).
+func HashString(s string) uint64 { return hashing.String(s) }
