@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke ci
 
 all: ci
 
@@ -31,5 +31,18 @@ selfcheck:
 # physics change and a core.StoreVersion bump (see DESIGN.md).
 golden:
 	$(GO) run ./cmd/goldengen -v
+
+# Store round-trip smoke: the second run must serve every measurement from
+# the cache (hit counter > 0, zero misses, zero simulations) and print
+# byte-identical output. Mirrors the CI smoke job; needs jq.
+smoke:
+	$(GO) build -o /tmp/gpuchar-smoke ./cmd/gpuchar
+	rm -f /tmp/gpuchar-smoke-store.json
+	/tmp/gpuchar-smoke -exp table2 -store /tmp/gpuchar-smoke-store.json -metrics >/tmp/gpuchar-smoke-1.txt 2>/tmp/gpuchar-smoke-1.json
+	/tmp/gpuchar-smoke -exp table2 -store /tmp/gpuchar-smoke-store.json -metrics >/tmp/gpuchar-smoke-2.txt 2>/tmp/gpuchar-smoke-2.json
+	cmp /tmp/gpuchar-smoke-1.txt /tmp/gpuchar-smoke-2.txt
+	jq -e '.counters.measure_cache_hits > 0' /tmp/gpuchar-smoke-2.json
+	jq -e '.counters.measure_cache_misses == 0' /tmp/gpuchar-smoke-2.json
+	jq -e '.histograms.stage_simulate_seconds.count == 0' /tmp/gpuchar-smoke-2.json
 
 ci: vet build race test fuzz

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -30,15 +31,15 @@ func benchSetup() {
 		// first iteration reflects experiment assembly rather than
 		// serialized simulation: default inputs across the configurations,
 		// alternate inputs at the default clocks (all Figure 5 needs).
-		if err := benchRunner.MeasureAll(benchProgs, kepler.Configs, false); err != nil {
+		if err := benchRunner.MeasureAll(context.Background(), benchProgs, kepler.Configs, false); err != nil {
 			panic(err)
 		}
-		if err := benchRunner.MeasureAll(benchProgs, []kepler.Clocks{kepler.Default}, true); err != nil {
+		if err := benchRunner.MeasureAll(context.Background(), benchProgs, []kepler.Clocks{kepler.Default}, true); err != nil {
 			panic(err)
 		}
 		var extra []core.Program
 		extra = append(extra, suites.Variants()...)
-		if err := benchRunner.MeasureAll(extra, kepler.Configs, false); err != nil {
+		if err := benchRunner.MeasureAll(context.Background(), extra, kepler.Configs, false); err != nil {
 			panic(err)
 		}
 	})
@@ -60,7 +61,7 @@ func BenchmarkTable1Inventory(b *testing.B) {
 func BenchmarkTable2Variability(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Table2(benchRunner, benchProgs)
+		rows, err := core.Table2(context.Background(), benchRunner, benchProgs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func BenchmarkFigure1Profile(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		samples, m, err := core.Profile(p, "3000", kepler.Default, uint64(i)+7)
+		samples, m, err := core.Profile(context.Background(), p, "3000", kepler.Default, uint64(i)+7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkFigure1Profile(b *testing.B) {
 func BenchmarkFigure2Freq614(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.FigureRatios(benchRunner, benchProgs, kepler.Default, kepler.F614)
+		rows, err := core.FigureRatios(context.Background(), benchRunner, benchProgs, kepler.Default, kepler.F614)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkFigure2Freq614(b *testing.B) {
 func BenchmarkFigure3Freq324(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.FigureRatios(benchRunner, benchProgs, kepler.F614, kepler.F324)
+		rows, err := core.FigureRatios(context.Background(), benchRunner, benchProgs, kepler.F614, kepler.F324)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkFigure3Freq324(b *testing.B) {
 func BenchmarkFigure4ECC(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.FigureRatios(benchRunner, benchProgs, kepler.Default, kepler.ECCDefault)
+		rows, err := core.FigureRatios(context.Background(), benchRunner, benchProgs, kepler.Default, kepler.ECCDefault)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,11 +145,11 @@ func BenchmarkTable3Variants(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		rows, _, err := core.Table3(benchRunner, lbfs, suites.LBFSVariants(), "usa")
+		rows, _, err := core.Table3(context.Background(), benchRunner, lbfs, suites.LBFSVariants(), "usa")
 		if err != nil {
 			b.Fatal(err)
 		}
-		rows2, _, err := core.Table3(benchRunner, sssp, suites.SSSPVariants(), "usa")
+		rows2, _, err := core.Table3(context.Background(), benchRunner, sssp, suites.SSSPVariants(), "usa")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func BenchmarkTable3Variants(b *testing.B) {
 func BenchmarkTable4BFSCross(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Table4(benchRunner, suites.BFSCross())
+		rows, err := core.Table4(context.Background(), benchRunner, suites.BFSCross())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func BenchmarkTable4BFSCross(b *testing.B) {
 func BenchmarkFigure5Inputs(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Figure5(benchRunner, benchProgs)
+		rows, err := core.Figure5(context.Background(), benchRunner, benchProgs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func BenchmarkFigure5Inputs(b *testing.B) {
 func BenchmarkFigure6PowerRange(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Figure6(benchRunner, benchProgs)
+		rows, err := core.Figure6(context.Background(), benchRunner, benchProgs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +227,7 @@ func BenchmarkColdSweep(b *testing.B) {
 	progs := suites.All()
 	for i := 0; i < b.N; i++ {
 		r := core.NewRunner() // cold: no cache, full simulation cost
-		if err := r.MeasureAll(progs, kepler.Configs, false); err != nil {
+		if err := r.MeasureAll(context.Background(), progs, kepler.Configs, false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -240,7 +241,7 @@ func BenchmarkColdSweepSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := core.NewRunner()
 		r.Workers = 1
-		if err := r.MeasureAll(progs, kepler.Configs, false); err != nil {
+		if err := r.MeasureAll(context.Background(), progs, kepler.Configs, false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -255,7 +256,7 @@ func BenchmarkMeasurementStack(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		r := core.NewRunner() // fresh runner: no caching, measure the stack
-		if _, err := r.Measure(p, p.DefaultInput(), kepler.Default); err != nil {
+		if _, err := r.Measure(context.Background(), p, p.DefaultInput(), kepler.Default); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/check"
@@ -38,15 +40,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	runner := core.NewRunner()
 	runner.Repetitions = *reps
 	programs := suites.All()
 
 	start := time.Now()
-	if err := runner.MeasureAll(programs, kepler.Configs, false); err != nil {
+	if err := runner.MeasureAll(ctx, programs, kepler.Configs, false); err != nil {
 		fail(err)
 	}
-	files, err := check.Snapshot(runner, programs, kepler.Configs)
+	files, err := check.Snapshot(ctx, runner, programs, kepler.Configs)
 	if err != nil {
 		fail(err)
 	}

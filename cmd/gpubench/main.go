@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,8 +57,9 @@ func main() {
 		in = p.DefaultInput()
 	}
 
+	ctx := context.Background()
 	dev := sim.NewDevice(clk)
-	fatal(p.Run(dev, in))
+	fatal(core.RunProgram(ctx, p, dev, in))
 
 	fmt.Printf("%s / input %s / %s\n\n", p.Name(), in, clk)
 
@@ -96,7 +98,7 @@ func main() {
 		dev.ActiveTime(), power.ActiveEnergy(dev), power.ActiveEnergy(dev)/dev.ActiveTime())
 
 	// Measurement through the sensor stack.
-	samples, m, err := core.Profile(p, in, clk, 1)
+	samples, m, err := core.Profile(ctx, p, in, clk, 1)
 	if err != nil {
 		fmt.Printf("measurement: %v\n", err)
 		fmt.Println("(the paper excludes such runs from its results)")

@@ -7,14 +7,27 @@
 //	gpuchar -exp all
 //	gpuchar -exp table1,table2,fig2,fig3,fig4,table3,table4,fig5,fig6
 //	gpuchar -exp fig2 -reps 3
+//	gpuchar -exp all -store sweep.json -timeout 10m -metrics
 //	gpuchar -selfcheck    # physics-invariant verification sweep (internal/check)
+//
+// The sweep is cancelable: SIGINT (and -timeout) cancel the measurement
+// context, in-flight simulations abort at the next thread-block boundary,
+// and everything measured so far is still saved to -store before exit.
+// -metrics dumps the observability registry (per-stage durations, cache
+// hit/miss counts, worker-pool utilization, sweep progress) as JSON to
+// stderr at exit; stdout carries only the experiment output.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -23,72 +36,102 @@ import (
 	"repro/internal/suites"
 )
 
-// mustBy resolves a program name or exits.
-func mustBy(name string, fail func(error)) core.Program {
-	p, err := suites.ByName(name)
-	if err != nil {
-		fail(err)
-	}
-	return p
-}
-
 func main() {
 	var (
 		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'")
 		reps      = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
-		store     = flag.String("store", "", "measurement cache file: loaded if present, saved on exit")
+		store     = flag.String("store", "", "measurement cache file: loaded if present, saved on exit (also on failure, timeout and SIGINT)")
 		selfcheck = flag.Bool("selfcheck", false, "run the physics-invariant verification sweep instead of the experiments; exit 1 on any violation")
 		workers   = flag.Int("workers", 0, "simulation worker budget shared by concurrent measurements and per-launch block sharding (0 = GOMAXPROCS); never affects measured values")
+		timeout   = flag.Duration("timeout", 0, "overall deadline for the run (e.g. 10m); 0 disables")
+		metrics   = flag.Bool("metrics", false, "dump pipeline metrics (stage timings, cache counters, pool utilization) as JSON to stderr at exit")
 	)
 	flag.Parse()
 
-	if *selfcheck {
-		runner := core.NewRunner()
-		runner.Repetitions = *reps
-		runner.Workers = *workers
-		rep, err := check.Run(runner, suites.All(), check.DefaultOptions())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpuchar:", err)
-			os.Exit(1)
-		}
-		rep.Format(os.Stdout)
-		if !rep.Ok() {
-			os.Exit(1)
-		}
-		return
-	}
-
-	want := map[string]bool{}
-	if *expFlag == "all" {
-		for _, e := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "table3", "table4", "fig5", "fig6", "classify", "findings", "freqsweep", "crossgpu"} {
-			want[e] = true
-		}
-	} else {
-		for _, e := range strings.Split(*expFlag, ",") {
-			want[strings.TrimSpace(e)] = true
-		}
+	// SIGINT/SIGTERM cancel the sweep gracefully: queued jobs stop before
+	// starting, running simulations abort at the next block boundary, and
+	// the partial store and metrics dump below still happen.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	runner := core.NewRunner()
 	runner.Repetitions = *reps
 	runner.Workers = *workers
-	programs := suites.All()
-	out := os.Stdout
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "gpuchar:", err)
-		os.Exit(1)
-	}
 
 	if *store != "" {
 		if err := runner.LoadStore(*store); err != nil && !os.IsNotExist(err) {
 			fmt.Fprintf(os.Stderr, "gpuchar: ignoring store %s: %v\n", *store, err)
 		}
-		defer func() {
-			if err := runner.SaveStore(*store); err != nil {
-				fmt.Fprintln(os.Stderr, "gpuchar: saving store:", err)
+	}
+
+	err := run(ctx, runner, os.Stdout, *expFlag, *selfcheck)
+
+	// Save on every path — success, failure, timeout, interrupt — so no
+	// already-computed measurement is ever lost to an aborted sweep.
+	if *store != "" {
+		if serr := runner.SaveStore(*store); serr != nil {
+			fmt.Fprintln(os.Stderr, "gpuchar: saving store:", serr)
+			if err == nil {
+				err = serr
 			}
-		}()
+		}
+	}
+	if *metrics {
+		if merr := runner.Metrics().WriteJSON(os.Stderr); merr != nil {
+			fmt.Fprintln(os.Stderr, "gpuchar: writing metrics:", merr)
+		}
+	}
+
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "gpuchar: interrupted; partial results saved")
+		os.Exit(130)
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "gpuchar: timed out; partial results saved")
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "gpuchar:", err)
+		os.Exit(1)
+	}
+}
+
+// errViolations marks a completed selfcheck that found invariant
+// violations (reported on stdout already).
+var errViolations = errors.New("selfcheck found invariant violations")
+
+// run executes the requested experiments (or the selfcheck sweep) and
+// returns instead of exiting, so main can always save the store and dump
+// metrics afterwards.
+func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string, selfcheck bool) error {
+	programs := suites.All()
+
+	if selfcheck {
+		rep, err := check.Run(ctx, runner, programs, check.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		rep.Format(out)
+		if !rep.Ok() {
+			return errViolations
+		}
+		return nil
+	}
+
+	want := map[string]bool{}
+	if expFlag == "all" {
+		for _, e := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "table3", "table4", "fig5", "fig6", "classify", "findings", "freqsweep", "crossgpu"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(expFlag, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
 	}
 
 	// Pre-warm the measurement cache: default inputs across all four
@@ -96,19 +139,26 @@ func main() {
 	// (all Figure 5 needs). The experiments below then assemble their
 	// tables from cached results.
 	if len(want) > 1 || want["fig2"] || want["fig3"] || want["fig4"] || want["fig6"] {
-		if err := runner.MeasureAll(programs, kepler.Configs, false); err != nil {
-			fail(err)
+		if err := runner.MeasureAll(ctx, programs, kepler.Configs, false); err != nil {
+			return err
 		}
 	}
 	if want["fig5"] {
-		if err := runner.MeasureAll(programs, []kepler.Clocks{kepler.Default}, true); err != nil {
-			fail(err)
+		if err := runner.MeasureAll(ctx, programs, []kepler.Clocks{kepler.Default}, true); err != nil {
+			return err
 		}
 	}
 	if want["table3"] {
-		if err := runner.MeasureAll(append(suites.Variants(),
-			mustBy("L-BFS", fail), mustBy("SSSP", fail)), kepler.Configs, false); err != nil {
-			fail(err)
+		lbfs, err := suites.ByName("L-BFS")
+		if err != nil {
+			return err
+		}
+		sssp, err := suites.ByName("SSSP")
+		if err != nil {
+			return err
+		}
+		if err := runner.MeasureAll(ctx, append(suites.Variants(), lbfs, sssp), kepler.Configs, false); err != nil {
+			return err
 		}
 	}
 
@@ -117,9 +167,9 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if want["table2"] {
-		rows, err := core.Table2(runner, programs)
+		rows, err := core.Table2(ctx, runner, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Table2(out, rows)
 		fmt.Fprintln(out)
@@ -127,37 +177,37 @@ func main() {
 	if want["fig1"] {
 		p, err := suites.ByName("LBM")
 		if err != nil {
-			fail(err)
+			return err
 		}
-		samples, m, err := core.Profile(p, "3000", kepler.Default, 7)
+		samples, m, err := core.Profile(ctx, p, "3000", kepler.Default, 7)
 		if err != nil {
-			fail(fmt.Errorf("fig1 profile: %w", err))
+			return fmt.Errorf("fig1 profile: %w", err)
 		}
 		report.Figure1(out, samples, m)
 		fmt.Fprintln(out)
 	}
 	if want["fig2"] {
-		rows, err := core.FigureRatios(runner, programs, kepler.Default, kepler.F614)
+		rows, err := core.FigureRatios(ctx, runner, programs, kepler.Default, kepler.F614)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.FigureRatios(out, "Figure 2: 614 configuration relative to default", rows)
 		report.BoxPlot(out, "Figure 2 as box plots", rows)
 		fmt.Fprintln(out)
 	}
 	if want["fig3"] {
-		rows, err := core.FigureRatios(runner, programs, kepler.F614, kepler.F324)
+		rows, err := core.FigureRatios(ctx, runner, programs, kepler.F614, kepler.F324)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.FigureRatios(out, "Figure 3: 324 configuration relative to 614", rows)
 		report.BoxPlot(out, "Figure 3 as box plots", rows)
 		fmt.Fprintln(out)
 	}
 	if want["fig4"] {
-		rows, err := core.FigureRatios(runner, programs, kepler.Default, kepler.ECCDefault)
+		rows, err := core.FigureRatios(ctx, runner, programs, kepler.Default, kepler.ECCDefault)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.FigureRatios(out, "Figure 4: ECC relative to default", rows)
 		report.BoxPlot(out, "Figure 4 as box plots", rows)
@@ -166,59 +216,59 @@ func main() {
 	if want["table3"] {
 		lbfs, err := suites.ByName("L-BFS")
 		if err != nil {
-			fail(err)
+			return err
 		}
-		rows, excluded, err := core.Table3(runner, lbfs, suites.LBFSVariants(), "usa")
+		rows, excluded, err := core.Table3(ctx, runner, lbfs, suites.LBFSVariants(), "usa")
 		if err != nil {
-			fail(err)
+			return err
 		}
 		sssp, err := suites.ByName("SSSP")
 		if err != nil {
-			fail(err)
+			return err
 		}
-		rows2, excl2, err := core.Table3(runner, sssp, suites.SSSPVariants(), "usa")
+		rows2, excl2, err := core.Table3(ctx, runner, sssp, suites.SSSPVariants(), "usa")
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Table3(out, append(rows, rows2...), append(excluded, excl2...))
 		fmt.Fprintln(out)
 	}
 	if want["table4"] {
-		rows, err := core.Table4(runner, suites.BFSCross())
+		rows, err := core.Table4(ctx, runner, suites.BFSCross())
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Table4(out, rows)
 		fmt.Fprintln(out)
 	}
 	if want["fig5"] {
-		rows, err := core.Figure5(runner, programs)
+		rows, err := core.Figure5(ctx, runner, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Figure5(out, rows)
 		fmt.Fprintln(out)
 	}
 	if want["fig6"] {
-		rows, err := core.Figure6(runner, programs)
+		rows, err := core.Figure6(ctx, runner, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Figure6(out, rows)
 		fmt.Fprintln(out)
 	}
 	if want["classify"] {
-		classes, err := core.Classify(runner, programs)
+		classes, err := core.Classify(ctx, runner, programs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Classification(out, classes, core.RecommendSubset(classes))
 		fmt.Fprintln(out)
 	}
 	if want["findings"] {
-		findings, err := core.VerifyFindings(runner, programs, suites.LBFSVariants(), suites.SSSPVariants())
+		findings, err := core.VerifyFindings(ctx, runner, programs, suites.LBFSVariants(), suites.SSSPVariants())
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.Findings(out, findings)
 		fmt.Fprintln(out)
@@ -227,11 +277,11 @@ func main() {
 		for _, name := range []string{"NB", "STEN", "MST"} {
 			p, err := suites.ByName(name)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			points, err := core.FreqSweep(runner, p)
+			points, err := core.FreqSweep(ctx, runner, p)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			report.FreqSweep(out, p.Name(), points)
 		}
@@ -242,15 +292,16 @@ func main() {
 		for _, name := range []string{"NB", "STEN", "MST"} {
 			p, err := suites.ByName(name)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			picks = append(picks, p)
 		}
-		rows, err := core.CrossGPU(runner, picks)
+		rows, err := core.CrossGPU(ctx, runner, picks)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.CrossGPU(out, rows)
 		fmt.Fprintln(out)
 	}
+	return nil
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,7 +82,7 @@ func emitLog(spec string, seed uint64) error {
 			return err
 		}
 	}
-	samples, _, err := core.Profile(p, input, clk, seed)
+	samples, _, err := core.Profile(context.Background(), p, input, clk, seed)
 	if err != nil && samples == nil {
 		return err
 	}

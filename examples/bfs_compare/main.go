@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,13 +18,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	runner := core.NewRunner()
 
 	lbfs, err := suites.ByName("L-BFS")
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, excluded, err := core.Table3(runner, lbfs, suites.LBFSVariants(), "usa")
+	rows, excluded, err := core.Table3(ctx, runner, lbfs, suites.LBFSVariants(), "usa")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,14 +33,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows2, excl2, err := core.Table3(runner, sssp, suites.SSSPVariants(), "usa")
+	rows2, excl2, err := core.Table3(ctx, runner, sssp, suites.SSSPVariants(), "usa")
 	if err != nil {
 		log.Fatal(err)
 	}
 	report.Table3(os.Stdout, append(rows, rows2...), append(excluded, excl2...))
 
 	fmt.Println()
-	t4, err := core.Table4(runner, suites.BFSCross())
+	t4, err := core.Table4(ctx, runner, suites.BFSCross())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	runner := core.NewRunner()
 
 	// One program per behaviour class.
@@ -39,7 +41,7 @@ func main() {
 		fmt.Printf("%s — %s\n", p.Name(), pick.why)
 		var base *core.Result
 		for _, clk := range kepler.Configs {
-			res, err := runner.Measure(p, p.DefaultInput(), clk)
+			res, err := runner.Measure(ctx, p, p.DefaultInput(), clk)
 			if err != nil {
 				if errors.Is(err, k20power.ErrInsufficientSamples) || errors.Is(err, k20power.ErrNoActivity) {
 					fmt.Printf("  %-8s not measurable (too few power samples — the paper excludes such runs)\n", clk.Name)
@@ -65,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	points, err := core.FreqSweep(runner, nb)
+	points, err := core.FreqSweep(ctx, runner, nb)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	runner := core.NewRunner()
 
 	groups := []struct {
@@ -34,11 +36,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			off, err := runner.Measure(p, p.DefaultInput(), kepler.Default)
+			off, err := runner.Measure(ctx, p, p.DefaultInput(), kepler.Default)
 			if err != nil {
 				log.Fatal(err)
 			}
-			on, err := runner.Measure(p, p.DefaultInput(), kepler.ECCDefault)
+			on, err := runner.Measure(ctx, p, p.DefaultInput(), kepler.ECCDefault)
 			if err != nil {
 				log.Fatal(err)
 			}

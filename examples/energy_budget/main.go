@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 const slowdownBudget = 1.25 // accept up to 25% longer runtime
 
 func main() {
+	ctx := context.Background()
 	runner := core.NewRunner()
 
 	fmt.Printf("Best configuration per program (energy-minimal within %.0f%% slowdown):\n\n",
@@ -30,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		base, err := runner.Measure(p, p.DefaultInput(), kepler.Default)
+		base, err := runner.Measure(ctx, p, p.DefaultInput(), kepler.Default)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +42,7 @@ func main() {
 			if clk.ECC {
 				continue // ECC is a protection choice, not a tuning knob
 			}
-			res, err := runner.Measure(p, p.DefaultInput(), clk)
+			res, err := runner.Measure(ctx, p, p.DefaultInput(), clk)
 			if err != nil {
 				continue // not measurable at this configuration
 			}
@@ -60,11 +62,11 @@ func main() {
 	// atomic variant at default clocks beats every clock setting of the
 	// default implementation.
 	fmt.Println("\nImplementation choice (paper section V.B): L-BFS on the usa input")
-	def, err := mustMeasure(runner, "L-BFS", "usa")
+	def, err := mustMeasure(ctx, runner, "L-BFS", "usa")
 	if err != nil {
 		log.Fatal(err)
 	}
-	atomic, err := mustMeasure(runner, "L-BFS-atomic", "usa")
+	atomic, err := mustMeasure(ctx, runner, "L-BFS-atomic", "usa")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,10 +76,10 @@ func main() {
 	fmt.Println("   software choices dominate hardware knobs, the paper's conclusion)")
 }
 
-func mustMeasure(r *core.Runner, name, input string) (*core.Result, error) {
+func mustMeasure(ctx context.Context, r *core.Runner, name, input string) (*core.Result, error) {
 	p, err := suites.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return r.Measure(p, input, kepler.Default)
+	return r.Measure(ctx, p, input, kepler.Default)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,11 +18,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := suites.ByName("LBM")
 	if err != nil {
 		log.Fatal(err)
 	}
-	samples, m, err := core.Profile(p, "3000", kepler.Default, 42)
+	samples, m, err := core.Profile(ctx, p, "3000", kepler.Default, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The runner owns the measurement methodology: it runs each program on
 	// a freshly simulated K20c, feeds the power timeline through the
 	// on-board-sensor model, analyzes the sample log the way the K20Power
@@ -29,7 +31,7 @@ func main() {
 
 	fmt.Printf("%s: %s\n\n", nb.Name(), nb.Description())
 	for _, clk := range []kepler.Clocks{kepler.Default, kepler.F614} {
-		res, err := runner.Measure(nb, nb.DefaultInput(), clk)
+		res, err := runner.Measure(ctx, nb, nb.DefaultInput(), clk)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,8 +42,8 @@ func main() {
 	// The paper's headline observation for NB: lowering the core clock 13%
 	// costs ~15% runtime but saves over 20% power, so the energy barely
 	// moves — performance, power and energy respond differently.
-	a, _ := runner.Measure(nb, nb.DefaultInput(), kepler.Default)
-	b, _ := runner.Measure(nb, nb.DefaultInput(), kepler.F614)
+	a, _ := runner.Measure(ctx, nb, nb.DefaultInput(), kepler.Default)
+	b, _ := runner.Measure(ctx, nb, nb.DefaultInput(), kepler.F614)
 	fmt.Printf("\n614/default ratios: time %.2f   energy %.2f   power %.2f\n",
 		b.ActiveTime/a.ActiveTime, b.Energy/a.Energy, b.AvgPower/a.AvgPower)
 }

@@ -26,6 +26,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -156,12 +157,12 @@ func (r *Report) Format(w io.Writer) {
 // evaluates all invariant classes. Hard measurement failures (validation
 // errors, not sample insufficiency) abort with an error; physics
 // inconsistencies are returned as violations in the report.
-func Run(r *core.Runner, programs []core.Program, opt Options) (*Report, error) {
+func Run(ctx context.Context, r *core.Runner, programs []core.Program, opt Options) (*Report, error) {
 	if len(opt.Configs) == 0 {
 		opt.Configs = kepler.Configs
 	}
 	r.KeepTraces = true
-	if err := r.MeasureAll(programs, opt.Configs, false); err != nil {
+	if err := r.MeasureAll(ctx, programs, opt.Configs, false); err != nil {
 		return nil, fmt.Errorf("check: sweep failed: %w", err)
 	}
 
@@ -170,7 +171,7 @@ func Run(r *core.Runner, programs []core.Program, opt Options) (*Report, error) 
 	for _, p := range programs {
 		byConfig := make(map[string]*core.Result, len(opt.Configs))
 		for _, clk := range opt.Configs {
-			res, err := r.Measure(p, p.DefaultInput(), clk)
+			res, err := r.Measure(ctx, p, p.DefaultInput(), clk)
 			switch {
 			case err == nil:
 				byConfig[clk.Name] = res
@@ -194,7 +195,7 @@ func Run(r *core.Runner, programs []core.Program, opt Options) (*Report, error) 
 	}
 
 	for _, clk := range opt.DeterminismConfigs {
-		vs, n, err := checkDeterminism(r, programs, clk)
+		vs, n, err := checkDeterminism(ctx, r, programs, clk)
 		if err != nil {
 			return nil, err
 		}
@@ -459,12 +460,12 @@ func checkECCDirectionality(irregular bool, byConfig map[string]*core.Result, op
 
 // checkDeterminism re-measures every program at the configuration on a
 // fresh Runner and compares the Results bitwise against the cached ones.
-func checkDeterminism(r *core.Runner, programs []core.Program, clk kepler.Clocks) ([]Violation, int, error) {
+func checkDeterminism(ctx context.Context, r *core.Runner, programs []core.Program, clk kepler.Clocks) ([]Violation, int, error) {
 	fresh := core.NewRunner()
 	fresh.Repetitions = r.Repetitions
 	fresh.RuntimeJitter = r.RuntimeJitter
 	fresh.Analysis = r.Analysis
-	if err := fresh.MeasureAll(programs, []kepler.Clocks{clk}, false); err != nil {
+	if err := fresh.MeasureAll(ctx, programs, []kepler.Clocks{clk}, false); err != nil {
 		return nil, 0, fmt.Errorf("check: determinism sweep failed: %w", err)
 	}
 	var vs []Violation
@@ -478,8 +479,8 @@ func checkDeterminism(r *core.Runner, programs []core.Program, clk kepler.Clocks
 	}
 	for _, p := range programs {
 		n++
-		a, errA := r.Measure(p, p.DefaultInput(), clk)
-		b, errB := fresh.Measure(p, p.DefaultInput(), clk)
+		a, errA := r.Measure(ctx, p, p.DefaultInput(), clk)
+		b, errB := fresh.Measure(ctx, p, p.DefaultInput(), clk)
 		switch {
 		case errA != nil && errB != nil:
 			if core.IsInsufficient(errA) != core.IsInsufficient(errB) {

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -28,7 +29,7 @@ func sharedSweep(t *testing.T) (*core.Runner, *Report) {
 	t.Helper()
 	sweepOnce.Do(func() {
 		sweepRunner = core.NewRunner()
-		sweepReport, sweepErr = Run(sweepRunner, suites.All(), DefaultOptions())
+		sweepReport, sweepErr = Run(context.Background(), sweepRunner, suites.All(), DefaultOptions())
 	})
 	if sweepErr != nil {
 		t.Fatalf("verification sweep failed: %v", sweepErr)
@@ -273,7 +274,7 @@ func TestTrapezoidActivePlateau(t *testing.T) {
 // with an error instead of being silently skipped like insufficiency.
 func TestRunRejectsHardFailures(t *testing.T) {
 	r := core.NewRunner()
-	_, err := Run(r, []core.Program{newBrokenProgram()}, DefaultOptions())
+	_, err := Run(context.Background(), r, []core.Program{newBrokenProgram()}, DefaultOptions())
 	if err == nil {
 		t.Fatal("sweep over a failing program returned no error")
 	}
@@ -291,6 +292,6 @@ func newBrokenProgram() brokenProgram {
 	}}
 }
 
-func (brokenProgram) Run(dev *sim.Device, input string) error {
+func (brokenProgram) Run(ctx context.Context, dev *sim.Device, input string) error {
 	return core.Validatef("BROKEN", "deliberate failure")
 }

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -50,7 +51,7 @@ func SuiteFileName(s core.Suite) string {
 // Snapshot measures every program (default input) at every configuration
 // through the runner and groups the snapshots by suite. Cached runner
 // entries are reused, so snapshotting after a sweep is free.
-func Snapshot(r *core.Runner, programs []core.Program, configs []kepler.Clocks) (map[core.Suite]*GoldenFile, error) {
+func Snapshot(ctx context.Context, r *core.Runner, programs []core.Program, configs []kepler.Clocks) (map[core.Suite]*GoldenFile, error) {
 	out := make(map[core.Suite]*GoldenFile)
 	for _, p := range programs {
 		gf := out[p.Suite()]
@@ -60,7 +61,7 @@ func Snapshot(r *core.Runner, programs []core.Program, configs []kepler.Clocks) 
 		}
 		for _, clk := range configs {
 			e := GoldenEntry{Program: p.Name(), Input: p.DefaultInput(), Config: clk.Name}
-			res, err := r.Measure(p, p.DefaultInput(), clk)
+			res, err := r.Measure(ctx, p, p.DefaultInput(), clk)
 			switch {
 			case err == nil:
 				e.ActiveTime = res.ActiveTime

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -28,7 +29,7 @@ func TestGoldenCorpusMatchesPhysics(t *testing.T) {
 			len(want), len(core.Suites))
 	}
 
-	got, err := Snapshot(r, suites.All(), kepler.Configs)
+	got, err := Snapshot(context.Background(), r, suites.All(), kepler.Configs)
 	if err != nil {
 		t.Fatalf("snapshotting current sweep: %v", err)
 	}

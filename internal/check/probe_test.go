@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -25,7 +26,7 @@ func TestProbeMargins(t *testing.T) {
 	opt.IdentityTol = 10
 	opt.MonoTol = 10
 	opt.ECCComputeMax = 10
-	rep, err := Run(r, suites.All(), opt)
+	rep, err := Run(context.Background(), r, suites.All(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestProbeMargins(t *testing.T) {
 		"prog", "irr", "sens", "t614/def", "t324/614", "tecc/def", "Eecc/def", "P614/def", "P324/def", "dE/truth", "dT/truth")
 	for _, p := range suites.All() {
 		get := func(clk kepler.Clocks) *core.Result {
-			res, err := r.Measure(p, p.DefaultInput(), clk)
+			res, err := r.Measure(context.Background(), p, p.DefaultInput(), clk)
 			if err != nil {
 				return nil
 			}
@@ -70,7 +71,7 @@ func TestProbeMargins(t *testing.T) {
 	var worstE, worstT float64
 	for _, p := range suites.All() {
 		for _, clk := range kepler.Configs {
-			res, err := r.Measure(p, p.DefaultInput(), clk)
+			res, err := r.Measure(context.Background(), p, p.DefaultInput(), clk)
 			if err != nil {
 				continue
 			}

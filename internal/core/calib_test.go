@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -34,7 +35,7 @@ func (t *toyProgram) Inputs() []string {
 func (t *toyProgram) DefaultInput() string { return t.Inputs()[0] }
 func (t *toyProgram) Irregular() bool      { return t.irregul }
 
-func (t *toyProgram) Run(dev *sim.Device, input string) error {
+func (t *toyProgram) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if t.runInput != nil {
 		return t.runInput(dev, input)
 	}
@@ -110,7 +111,7 @@ func TestCalibrationNumbers(t *testing.T) {
 	progs := []*toyProgram{computeBoundToy(4000), memoryBoundToy(3000), irregularToy(3000)}
 	for _, p := range progs {
 		for _, clk := range kepler.Configs {
-			res, err := r.Measure(p, "default", clk)
+			res, err := r.Measure(context.Background(), p, "default", clk)
 			if err != nil {
 				fmt.Printf("%-14s %-8s ERROR %v\n", p.name, clk.Name, err)
 				continue

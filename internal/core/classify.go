@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/kepler"
@@ -39,10 +40,10 @@ type Class struct {
 // Classify measures each program at the four configurations and derives its
 // behavioural class. Programs that cannot be measured at the default
 // configuration are skipped.
-func Classify(r *Runner, programs []Program) ([]Class, error) {
+func Classify(ctx context.Context, r *Runner, programs []Program) ([]Class, error) {
 	var out []Class
 	for _, p := range programs {
-		def, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+		def, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
 		if err != nil {
 			if IsInsufficient(err) {
 				continue
@@ -56,12 +57,12 @@ func Classify(r *Runner, programs []Program) ([]Class, error) {
 			Irregular: p.Irregular(),
 		}
 		freqDrop := float64(kepler.Default.CoreMHz)/float64(kepler.F614.CoreMHz) - 1 // ~0.148
-		if f614, err := r.Measure(p, p.DefaultInput(), kepler.F614); err == nil {
+		if f614, err := r.Measure(ctx, p, p.DefaultInput(), kepler.F614); err == nil {
 			c.CoreSensitivity = (f614.ActiveTime/def.ActiveTime - 1) / freqDrop
 		} else if !IsInsufficient(err) {
 			return nil, err
 		}
-		if f324, err := r.Measure(p, p.DefaultInput(), kepler.F324); err == nil {
+		if f324, err := r.Measure(ctx, p, p.DefaultInput(), kepler.F324); err == nil {
 			c.Measurable324 = true
 			// Total 324 slowdown, minus what the core clock alone explains.
 			coreShare := 1 + c.CoreSensitivity*(float64(kepler.Default.CoreMHz)/324-1)
@@ -70,7 +71,7 @@ func Classify(r *Runner, programs []Program) ([]Class, error) {
 		} else if !IsInsufficient(err) {
 			return nil, err
 		}
-		if ecc, err := r.Measure(p, p.DefaultInput(), kepler.ECCDefault); err == nil {
+		if ecc, err := r.Measure(ctx, p, p.DefaultInput(), kepler.ECCDefault); err == nil {
 			c.ECCSlowdown = ecc.ActiveTime/def.ActiveTime - 1
 		} else if !IsInsufficient(err) {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,10 +40,10 @@ type Table2Row struct {
 
 // Table2 measures every program at the default configuration and aggregates
 // the repetition spreads per suite, plus an overall row (Suite "Overall").
-func Table2(r *Runner, programs []Program) ([]Table2Row, error) {
+func Table2(ctx context.Context, r *Runner, programs []Program) ([]Table2Row, error) {
 	perSuite := map[Suite][]*Result{}
 	for _, p := range programs {
-		res, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+		res, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
 		if err != nil {
 			if IsInsufficient(err) {
 				continue
@@ -105,7 +106,7 @@ type FigRatioRow struct {
 // the to/from ratios per suite. Programs whose run yields too few power
 // samples at either configuration are excluded (the paper's treatment of
 // the 324 MHz setting).
-func FigureRatios(r *Runner, programs []Program, from, to kepler.Clocks) ([]FigRatioRow, error) {
+func FigureRatios(ctx context.Context, r *Runner, programs []Program, from, to kepler.Clocks) ([]FigRatioRow, error) {
 	bySuite := map[Suite]*FigRatioRow{}
 	order := []Suite{}
 	get := func(s Suite) *FigRatioRow {
@@ -119,7 +120,7 @@ func FigureRatios(r *Runner, programs []Program, from, to kepler.Clocks) ([]FigR
 	}
 	for _, p := range programs {
 		row := get(p.Suite())
-		a, err := r.Measure(p, p.DefaultInput(), from)
+		a, err := r.Measure(ctx, p, p.DefaultInput(), from)
 		if err != nil {
 			if IsInsufficient(err) {
 				row.Excluded = append(row.Excluded, p.Name())
@@ -127,7 +128,7 @@ func FigureRatios(r *Runner, programs []Program, from, to kepler.Clocks) ([]FigR
 			}
 			return nil, err
 		}
-		b, err := r.Measure(p, p.DefaultInput(), to)
+		b, err := r.Measure(ctx, p, p.DefaultInput(), to)
 		if err != nil {
 			if IsInsufficient(err) {
 				row.Excluded = append(row.Excluded, p.Name())
@@ -174,16 +175,16 @@ type Table3Row struct {
 // one input across all four configurations. Variants that cannot be
 // measured (insufficient samples) are reported with zero ratios and listed
 // in the returned exclusions, mirroring the paper's wlw/wlc BFS footnote.
-func Table3(r *Runner, base Program, variants []Program, input string) ([]Table3Row, []string, error) {
+func Table3(ctx context.Context, r *Runner, base Program, variants []Program, input string) ([]Table3Row, []string, error) {
 	var rows []Table3Row
 	var excluded []string
 	for _, v := range variants {
 		for _, clk := range kepler.Configs {
-			b, err := r.Measure(base, input, clk)
+			b, err := r.Measure(ctx, base, input, clk)
 			if err != nil {
 				return nil, nil, fmt.Errorf("base %s: %w", base.Name(), err)
 			}
-			vr, err := r.Measure(v, input, clk)
+			vr, err := r.Measure(ctx, v, input, clk)
 			if err != nil {
 				if IsInsufficient(err) {
 					excluded = append(excluded, v.Name()+"@"+clk.Name)
@@ -221,14 +222,14 @@ type Table4Row struct {
 // Table4 compares BFS implementations across suites at the default
 // configuration, normalizing by processed items. Programs must implement
 // ItemCounts.
-func Table4(r *Runner, bfs []Program) ([]Table4Row, error) {
+func Table4(ctx context.Context, r *Runner, bfs []Program) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, p := range bfs {
 		ic, ok := p.(ItemCounts)
 		if !ok {
 			return nil, fmt.Errorf("%s does not report item counts", p.Name())
 		}
-		res, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+		res, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +264,7 @@ type Fig5Row struct {
 
 // Figure5 measures every program with at least two inputs at the default
 // configuration and reports the power ratio of each input step.
-func Figure5(r *Runner, programs []Program) ([]Fig5Row, error) {
+func Figure5(ctx context.Context, r *Runner, programs []Program) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, p := range programs {
 		inputs := p.Inputs()
@@ -271,14 +272,14 @@ func Figure5(r *Runner, programs []Program) ([]Fig5Row, error) {
 			continue
 		}
 		for i := 1; i < len(inputs); i++ {
-			a, err := r.Measure(p, inputs[i-1], kepler.Default)
+			a, err := r.Measure(ctx, p, inputs[i-1], kepler.Default)
 			if err != nil {
 				if IsInsufficient(err) {
 					continue
 				}
 				return nil, err
 			}
-			b, err := r.Measure(p, inputs[i], kepler.Default)
+			b, err := r.Measure(ctx, p, inputs[i], kepler.Default)
 			if err != nil {
 				if IsInsufficient(err) {
 					continue
@@ -308,7 +309,7 @@ type Fig6Row struct {
 
 // Figure6 measures every program at every configuration and reports the
 // absolute power ranges per suite.
-func Figure6(r *Runner, programs []Program) ([]Fig6Row, error) {
+func Figure6(ctx context.Context, r *Runner, programs []Program) ([]Fig6Row, error) {
 	var rows []Fig6Row
 	for _, s := range Suites {
 		for _, clk := range kepler.Configs {
@@ -318,7 +319,7 @@ func Figure6(r *Runner, programs []Program) ([]Fig6Row, error) {
 				if p.Suite() != s {
 					continue
 				}
-				res, err := r.Measure(p, p.DefaultInput(), clk)
+				res, err := r.Measure(ctx, p, p.DefaultInput(), clk)
 				if err != nil {
 					if IsInsufficient(err) {
 						continue
@@ -339,9 +340,9 @@ func Figure6(r *Runner, programs []Program) ([]Fig6Row, error) {
 
 // Profile runs a program once and returns the raw sensor samples plus the
 // K20Power analysis — the paper's Figure 1 view.
-func Profile(p Program, input string, clk kepler.Clocks, seed uint64) ([]sensor.Sample, k20power.Measurement, error) {
+func Profile(ctx context.Context, p Program, input string, clk kepler.Clocks, seed uint64) ([]sensor.Sample, k20power.Measurement, error) {
 	dev := sim.NewDevice(clk)
-	if err := p.Run(dev, input); err != nil {
+	if err := RunProgram(ctx, p, dev, input); err != nil {
 		return nil, k20power.Measurement{}, err
 	}
 	segs := power.Timeline(dev)
@@ -373,20 +374,20 @@ type CrossGPURow struct {
 // board's default clocks and its 614-analogue, reporting the ratios. The
 // findings (ratio shapes) should agree across boards even though absolute
 // power differs.
-func CrossGPU(r *Runner, programs []Program) ([]CrossGPURow, error) {
+func CrossGPU(ctx context.Context, r *Runner, programs []Program) ([]CrossGPURow, error) {
 	var rows []CrossGPURow
 	for _, m := range kepler.Models {
 		cfgs := m.Configurations()
 		def, low := cfgs[0], cfgs[1]
 		for _, p := range programs {
-			a, err := r.Measure(p, p.DefaultInput(), def)
+			a, err := r.Measure(ctx, p, p.DefaultInput(), def)
 			if err != nil {
 				if IsInsufficient(err) {
 					continue
 				}
 				return nil, err
 			}
-			b, err := r.Measure(p, p.DefaultInput(), low)
+			b, err := r.Measure(ctx, p, p.DefaultInput(), low)
 			if err != nil {
 				if IsInsufficient(err) {
 					continue
@@ -419,15 +420,15 @@ type FreqPoint struct {
 // ladder (the paper evaluated three of the six) and reports each setting's
 // runtime, energy and power relative to the default clocks. Settings whose
 // runs yield too few samples are flagged rather than dropped.
-func FreqSweep(r *Runner, p Program) ([]FreqPoint, error) {
-	base, err := r.Measure(p, p.DefaultInput(), kepler.Default)
+func FreqSweep(ctx context.Context, r *Runner, p Program) ([]FreqPoint, error) {
+	base, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
 	if err != nil {
 		return nil, err
 	}
 	var points []FreqPoint
 	for _, clk := range kepler.AllSettings {
 		pt := FreqPoint{Config: clk.Name, CoreMHz: clk.CoreMHz, MemMHz: clk.MemMHz}
-		res, err := r.Measure(p, p.DefaultInput(), clk)
+		res, err := r.Measure(ctx, p, p.DefaultInput(), clk)
 		switch {
 		case err == nil:
 			pt.Measurable = true

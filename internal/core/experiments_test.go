@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestTable1Toy(t *testing.T) {
 
 func TestTable2Toy(t *testing.T) {
 	r := NewRunner()
-	rows, err := Table2(r, toySet())
+	rows, err := Table2(context.Background(), r, toySet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestTable2Toy(t *testing.T) {
 
 func TestFigureRatiosToy(t *testing.T) {
 	r := NewRunner()
-	rows, err := FigureRatios(r, toySet(), kepler.Default, kepler.F614)
+	rows, err := FigureRatios(context.Background(), r, toySet(), kepler.Default, kepler.F614)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFigureRatiosExcludesInsufficient(t *testing.T) {
 		},
 	}
 	r := NewRunner()
-	rows, err := FigureRatios(r, []Program{computeBoundToy(4000), tiny}, kepler.Default, kepler.F614)
+	rows, err := FigureRatios(context.Background(), r, []Program{computeBoundToy(4000), tiny}, kepler.Default, kepler.F614)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFigure5Toy(t *testing.T) {
 		return nil
 	}
 	r := NewRunner()
-	rows, err := Figure5(r, []Program{multi})
+	rows, err := Figure5(context.Background(), r, []Program{multi})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFigure5Toy(t *testing.T) {
 
 func TestFigure6Toy(t *testing.T) {
 	r := NewRunner()
-	rows, err := Figure6(r, toySet())
+	rows, err := Figure6(context.Background(), r, toySet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFigure6Toy(t *testing.T) {
 
 func TestProfileToy(t *testing.T) {
 	p := computeBoundToy(4000)
-	samples, m, err := Profile(p, "default", kepler.Default, 3)
+	samples, m, err := Profile(context.Background(), p, "default", kepler.Default, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestProfileToy(t *testing.T) {
 
 func TestClassifyToy(t *testing.T) {
 	r := NewRunner()
-	classes, err := Classify(r, toySet())
+	classes, err := Classify(context.Background(), r, toySet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestTable3Toy(t *testing.T) {
 		base: base.Name(),
 	}
 	r := NewRunner()
-	rows, excluded, err := Table3(r, base, []Program{fast}, "default")
+	rows, excluded, err := Table3(context.Background(), r, base, []Program{fast}, "default")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestTable3Toy(t *testing.T) {
 func TestTable4Toy(t *testing.T) {
 	a := &toyItems{toyProgram: computeBoundToy(4000), v: 200e3, e: 400e3}
 	r := NewRunner()
-	rows, err := Table4(r, []Program{a})
+	rows, err := Table4(context.Background(), r, []Program{a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,14 +283,14 @@ func TestTable4Toy(t *testing.T) {
 		t.Errorf("vertex/edge normalization wrong: %f vs %f", row.TimeVert, row.TimeEdge)
 	}
 	// And a program without item counts must be rejected.
-	if _, err := Table4(r, []Program{computeBoundToy(4000)}); err == nil {
+	if _, err := Table4(context.Background(), r, []Program{computeBoundToy(4000)}); err == nil {
 		t.Error("program without ItemCounts accepted")
 	}
 }
 
 func TestCrossGPUToy(t *testing.T) {
 	r := NewRunner()
-	rows, err := CrossGPU(r, []Program{computeBoundToy(4000)})
+	rows, err := CrossGPU(context.Background(), r, []Program{computeBoundToy(4000)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestMetaAccessors(t *testing.T) {
 
 func TestFreqSweepToy(t *testing.T) {
 	r := NewRunner()
-	points, err := FreqSweep(r, computeBoundToy(4000))
+	points, err := FreqSweep(context.Background(), r, computeBoundToy(4000))
 	if err != nil {
 		t.Fatal(err)
 	}

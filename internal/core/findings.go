@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,13 +26,13 @@ type Finding struct {
 // measurements of the given program set (plus the L-BFS/SSSP variants for
 // the implementation findings). It is the library form of the repository's
 // integration tests: every claim is checked live, nothing is hard-coded.
-func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) ([]Finding, error) {
+func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, ssspVariants []Program) ([]Finding, error) {
 	var out []Finding
 	add := func(id, claim string, pass bool, detail string) {
 		out = append(out, Finding{ID: id, Claim: claim, Pass: pass, Detail: detail})
 	}
 
-	fig2, err := FigureRatios(r, programs, kepler.Default, kepler.F614)
+	fig2, err := FigureRatios(ctx, r, programs, kepler.Default, kepler.F614)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +73,7 @@ func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) (
 		stats.Quantile(p614, 1) < 1.0,
 		fmt.Sprintf("worst 614 power ratio %.3f", stats.Quantile(p614, 1)))
 
-	fig3, err := FigureRatios(r, programs, kepler.F614, kepler.F324)
+	fig3, err := FigureRatios(ctx, r, programs, kepler.F614, kepler.F324)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +107,7 @@ func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) (
 		float64(up) >= 0.5*float64(len(e324)),
 		fmt.Sprintf("%d of %d measurable programs use more energy", up, len(e324)))
 
-	fig4, err := FigureRatios(r, programs, kepler.Default, kepler.ECCDefault)
+	fig4, err := FigureRatios(ctx, r, programs, kepler.Default, kepler.ECCDefault)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +154,7 @@ func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) (
 		}
 	}
 	if lbfsBase != nil && len(lbfsVariants) > 0 {
-		rows, _, err := Table3(r, lbfsBase, lbfsVariants, lbfsBase.DefaultInput())
+		rows, _, err := Table3(ctx, r, lbfsBase, lbfsVariants, lbfsBase.DefaultInput())
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +178,7 @@ func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) (
 			fmt.Sprintf("wla/default power %.2f", wlaPower))
 	}
 	if ssspBase != nil && len(ssspVariants) > 0 {
-		rows, _, err := Table3(r, ssspBase, ssspVariants, ssspBase.DefaultInput())
+		rows, _, err := Table3(ctx, r, ssspBase, ssspVariants, ssspBase.DefaultInput())
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +195,7 @@ func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) (
 
 	// Irregular-2 / Figure 5: power tends to rise with larger inputs on
 	// regular codes.
-	fig5, err := Figure5(r, programs)
+	fig5, err := Figure5(ctx, r, programs)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +222,7 @@ func VerifyFindings(r *Runner, programs, lbfsVariants, ssspVariants []Program) (
 	// Power-efficiency (Figure 6 / section V.C): irregular Lonestar codes
 	// draw more power than the regular memory-bound codes.
 	var irregularP, regularMemP []float64
-	classes, err := Classify(r, programs)
+	classes, err := Classify(ctx, r, programs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// runnerMetrics holds the pre-resolved metric handles the Runner's hot
+// paths record into, so instrumenting a measurement costs a few atomic
+// adds and never allocates or takes the registry lock.
+type runnerMetrics struct {
+	reg *obs.Registry
+
+	// Cache traffic of Measure: a hit found a resolved entry (including
+	// store-loaded ones), a miss created the entry and computed it, a
+	// singleflight wait joined an entry another goroutine was computing.
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	singleflightWaits *obs.Counter
+
+	// Sweep progress of MeasureAll.
+	sweepJobsTotal    *obs.Counter
+	sweepJobsDone     *obs.Counter
+	sweepJobsCanceled *obs.Counter
+
+	// Per-stage duration histograms, keyed by stage name.
+	stageHist map[string]*obs.Histogram
+}
+
+// Metrics returns the runner's observability registry, creating it on first
+// use. The registry also carries the shared worker pool's utilization
+// gauges (the pool is instrumented when it is created).
+func (r *Runner) Metrics() *obs.Registry {
+	return r.metricsHandles().reg
+}
+
+// metricsHandles lazily builds the handle set.
+func (r *Runner) metricsHandles() *runnerMetrics {
+	r.metricsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		m := &runnerMetrics{
+			reg:               reg,
+			cacheHits:         reg.Counter("measure_cache_hits"),
+			cacheMisses:       reg.Counter("measure_cache_misses"),
+			singleflightWaits: reg.Counter("measure_singleflight_waits"),
+			sweepJobsTotal:    reg.Counter("sweep_jobs_total"),
+			sweepJobsDone:     reg.Counter("sweep_jobs_done"),
+			sweepJobsCanceled: reg.Counter("sweep_jobs_canceled"),
+			stageHist:         make(map[string]*obs.Histogram, len(StageNames)),
+		}
+		for _, name := range StageNames {
+			m.stageHist[name] = reg.Histogram("stage_" + name + "_seconds")
+		}
+		r.metrics = m
+	})
+	return r.metrics
+}

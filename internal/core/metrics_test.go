@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/kepler"
+)
+
+// The cache counters must tell a hit from a miss, and every pipeline stage
+// must record exactly one duration observation per computed measurement.
+func TestMetricsCacheAndStageCounters(t *testing.T) {
+	r := NewRunner()
+	p := computeBoundToy(4000)
+	if _, err := r.Measure(context.Background(), p, "default", kepler.Default); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Measure(context.Background(), p, "default", kepler.Default); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := r.Metrics().Snapshot()
+	if got := snap.Counters["measure_cache_misses"]; got != 1 {
+		t.Errorf("measure_cache_misses = %d, want 1", got)
+	}
+	if got := snap.Counters["measure_cache_hits"]; got != 1 {
+		t.Errorf("measure_cache_hits = %d, want 1", got)
+	}
+	for _, name := range StageNames {
+		hs, ok := snap.Histograms["stage_"+name+"_seconds"]
+		if !ok || hs.Count != 1 {
+			t.Errorf("stage_%s_seconds observations = %d, want 1", name, hs.Count)
+		}
+	}
+}
+
+// MeasureAll must account for every job and mark them done, and the pool
+// instrumentation must publish the worker budget.
+func TestMetricsSweepAndPoolCounters(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 2
+	progs := []Program{computeBoundToy(4000), memoryBoundToy(3000)}
+	if err := r.MeasureAll(context.Background(), progs, []kepler.Clocks{kepler.Default, kepler.F614}, false); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Metrics().Snapshot()
+	if got := snap.Counters["sweep_jobs_total"]; got != 4 {
+		t.Errorf("sweep_jobs_total = %d, want 4", got)
+	}
+	if got := snap.Counters["sweep_jobs_done"]; got != 4 {
+		t.Errorf("sweep_jobs_done = %d, want 4", got)
+	}
+	if got := snap.Counters["sweep_jobs_canceled"]; got != 0 {
+		t.Errorf("sweep_jobs_canceled = %d, want 0", got)
+	}
+	if got := snap.Gauges["pool_workers_budget"]; got != 2 {
+		t.Errorf("pool_workers_budget = %d, want 2", got)
+	}
+	if got := snap.Counters["pool_acquires_total"]; got < 4 {
+		t.Errorf("pool_acquires_total = %d, want >= 4 (one per job)", got)
+	}
+	if got := snap.Gauges["pool_workers_in_use"]; got != 0 {
+		t.Errorf("pool_workers_in_use = %d after sweep, want 0", got)
+	}
+	if got := snap.Gauges["pool_workers_in_use_peak"]; got < 1 || got > 2 {
+		t.Errorf("pool_workers_in_use_peak = %d, want within [1, 2]", got)
+	}
+}

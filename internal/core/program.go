@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -34,6 +35,12 @@ var Suites = []Suite{SuiteSDK, SuiteLonestar, SuiteParboil, SuiteRodinia, SuiteS
 // Run must be self-contained and reentrant: it builds its own input data
 // (deterministically, from the input name) and may be called concurrently
 // on different devices.
+//
+// The context carries cancellation only — it never influences the
+// computation, so a completed Run is bit-identical for any ctx. Programs
+// need not poll it themselves: the device checks it at block granularity
+// inside every launch (see sim.Device.SetContext), which callers arrange
+// before invoking Run. Long host-side phases may additionally honor ctx.
 type Program interface {
 	// Name is the program's short name as used in the paper (e.g. "BH").
 	Name() string
@@ -51,7 +58,28 @@ type Program interface {
 	// and memory-access behaviour (the paper's regular/irregular split).
 	Irregular() bool
 	// Run executes the program with the named input on the device.
-	Run(dev *sim.Device, input string) error
+	Run(ctx context.Context, dev *sim.Device, input string) error
+}
+
+// RunProgram invokes p.Run with the context attached to the device and
+// converts a launch-cancellation unwind (see sim.CancelCause) back into the
+// context's error. Every direct Run call in the pipeline goes through it so
+// cancellation surfaces as a regular error, not a panic.
+func RunProgram(ctx context.Context, p Program, dev *sim.Device, input string) (err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if cerr, ok := sim.CancelCause(r); ok {
+				err = cerr
+				return
+			}
+			panic(r)
+		}
+	}()
+	dev.SetContext(ctx)
+	return p.Run(ctx, dev, input)
 }
 
 // Meta implements the descriptive half of Program; benchmark types embed it

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -58,6 +59,11 @@ func metric(ms []k20power.Measurement, f func(k20power.Measurement) float64) []f
 	return out
 }
 
+// medianOf reduces one metric of the repetitions to its median.
+func medianOf(ms []k20power.Measurement, f func(k20power.Measurement) float64) float64 {
+	return stats.Median(metric(ms, f))
+}
+
 // Runner measures programs through the full stack and caches results.
 type Runner struct {
 	// Repetitions is the number of repeated measurements (the paper uses 3).
@@ -83,10 +89,13 @@ type Runner struct {
 
 	poolOnce sync.Once
 	pool     *sim.WorkerPool
+
+	metricsOnce sync.Once
+	metrics     *runnerMetrics
 }
 
 // workerPool returns the runner's shared simulation worker pool, created on
-// first use from Workers.
+// first use from Workers and instrumented in the runner's metrics registry.
 func (r *Runner) workerPool() *sim.WorkerPool {
 	r.poolOnce.Do(func() {
 		n := r.Workers
@@ -94,6 +103,7 @@ func (r *Runner) workerPool() *sim.WorkerPool {
 			n = runtime.GOMAXPROCS(0)
 		}
 		r.pool = sim.NewWorkerPool(n)
+		r.pool.Instrument(r.Metrics())
 	})
 	return r.pool
 }
@@ -117,75 +127,72 @@ func NewRunner() *Runner {
 	}
 }
 
+// isCtxErr reports whether err is a context cancellation or deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Measure runs the program at the given input and configuration (cached).
 // It returns ErrInsufficientSamples-wrapped errors when the sensor could not
 // collect enough samples, which experiments treat as "program excluded at
 // this configuration" exactly like the paper does.
-func (r *Runner) Measure(p Program, input string, clk kepler.Clocks) (*Result, error) {
+//
+// Cancellation: when ctx fires mid-measurement the call returns the context
+// error and the cache entry is evicted, so a later call with a live context
+// recomputes the combination (a canceled run is not a result). Entries that
+// completed before the cancel stay cached and valid. Concurrent callers of
+// the same combination share one computation; if the computing caller's
+// context is canceled, the waiters receive the cancellation too and the
+// next call retries.
+func (r *Runner) Measure(ctx context.Context, p Program, input string, clk kepler.Clocks) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := r.metricsHandles()
 	key := joinKey(p.Name(), input, clk.Name, clk.Model().Name)
 	r.mu.Lock()
 	if r.cache == nil {
 		r.cache = make(map[string]*cacheEntry)
 	}
 	e, ok := r.cache[key]
-	if !ok {
+	switch {
+	case !ok:
 		e = &cacheEntry{}
 		r.cache[key] = e
+		m.cacheMisses.Inc()
+	case e.resolved.Load():
+		m.cacheHits.Inc()
+	default:
+		m.singleflightWaits.Inc()
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = r.measure(p, input, clk)
+		e.res, e.err = r.measure(ctx, p, input, clk)
 		e.resolved.Store(true)
 	})
+	if e.err != nil && isCtxErr(e.err) {
+		// A canceled measurement is not a cachable outcome: evict the entry
+		// so an uncanceled rerun recomputes it (idempotent across the
+		// waiters that shared the canceled computation).
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
 	return e.res, e.err
 }
 
-// measure simulates the device once (execution is deterministic per
-// configuration) and then takes Repetitions sensor recordings with
-// independent noise and runtime jitter, mirroring repeated wall-clock runs.
-func (r *Runner) measure(p Program, input string, clk kepler.Clocks) (*Result, error) {
-	dev := sim.NewDevice(clk)
-	dev.SetWorkerPool(r.workerPool())
-	if err := p.Run(dev, input); err != nil {
-		return nil, fmt.Errorf("%s/%s@%s: %w", p.Name(), input, clk.Name, err)
+// measure drives the staged pipeline: simulate once (execution is
+// deterministic per configuration), then derive Repetitions independent
+// sensor recordings, mirroring repeated wall-clock runs. See stages.go for
+// the stage inventory.
+func (r *Runner) measure(ctx context.Context, p Program, input string, clk kepler.Clocks) (*Result, error) {
+	st := &measureState{ctx: ctx, p: p, input: input, clk: clk}
+	if err := r.runStages(ctx, st); err != nil {
+		return nil, err
 	}
-	segs := power.Timeline(dev)
-
-	res := &Result{
-		Program:        p.Name(),
-		Input:          input,
-		Config:         clk.Name,
-		TrueActiveTime: dev.ActiveTime(),
-		TrueEnergy:     power.ActiveEnergy(dev),
-	}
-	reps := r.Repetitions
-	if reps < 1 {
-		reps = 1
-	}
-	var firstErr error
-	for rep := 0; rep < reps; rep++ {
-		seed := seedFor(p.Name(), input, clk.Model().Name, clk.Name, rep)
-		perturbed := perturbTimeline(segs, seed, r.RuntimeJitter)
-		samples := sensor.Record(perturbed, sensor.DefaultOptions(seed))
-		m, err := k20power.Analyze(samples, r.Analysis)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s/%s@%s: %w", p.Name(), input, clk.Name, err)
-			}
-			continue
-		}
-		res.Reps = append(res.Reps, m)
-		if r.KeepTraces {
-			res.Traces = append(res.Traces, samples)
-		}
-	}
-	if len(res.Reps) == 0 {
-		return nil, firstErr
-	}
-	res.ActiveTime = stats.Median(metric(res.Reps, func(m k20power.Measurement) float64 { return m.ActiveTime }))
-	res.Energy = stats.Median(metric(res.Reps, func(m k20power.Measurement) float64 { return m.Energy }))
-	res.AvgPower = stats.Median(metric(res.Reps, func(m k20power.Measurement) float64 { return m.AvgPower }))
-	return res, nil
+	return st.res, nil
 }
 
 // perturbTimeline stretches the timeline by a small random factor and scales
@@ -215,7 +222,16 @@ func perturbTimeline(segs []power.Segment, seed uint64, jitter float64) []power.
 // Combinations that fail with insufficient samples are skipped (the paper's
 // exclusions); every other failure is collected and reported via
 // errors.Join, so one broken program does not mask the others.
-func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInputs bool) error {
+//
+// When ctx is canceled the sweep winds down promptly — queued jobs stop
+// before acquiring a worker, running simulations abort at the next block
+// boundary — and MeasureAll reports the context error once (not once per
+// job) alongside any unrelated failures. Combinations measured before the
+// cancel remain cached.
+func (r *Runner) MeasureAll(ctx context.Context, programs []Program, configs []kepler.Clocks, allInputs bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type job struct {
 		p     Program
 		input string
@@ -233,6 +249,8 @@ func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInpu
 			}
 		}
 	}
+	m := r.metricsHandles()
+	m.sweepJobsTotal.Add(int64(len(jobs)))
 	// Each in-flight job holds one slot of the shared worker pool; the
 	// launches inside it borrow any remaining slots for block sharding
 	// (sim.WorkerPool). Total simulation goroutines therefore stay at the
@@ -245,9 +263,20 @@ func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInpu
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			pool.Acquire()
+			if err := pool.Acquire(ctx); err != nil {
+				m.sweepJobsCanceled.Inc()
+				errs <- err
+				return
+			}
 			defer pool.Release(1)
-			if _, err := r.Measure(j.p, j.input, j.clk); err != nil && !isInsufficient(err) {
+			_, err := r.Measure(ctx, j.p, j.input, j.clk)
+			switch {
+			case err == nil || isInsufficient(err):
+				m.sweepJobsDone.Inc()
+			case isCtxErr(err):
+				m.sweepJobsCanceled.Inc()
+				errs <- err
+			default:
 				errs <- err
 			}
 		}(j)
@@ -255,8 +284,21 @@ func (r *Runner) MeasureAll(programs []Program, configs []kepler.Clocks, allInpu
 	wg.Wait()
 	close(errs)
 	var all []error
+	canceled := false
 	for err := range errs {
+		if isCtxErr(err) {
+			canceled = true
+			continue
+		}
 		all = append(all, err)
+	}
+	if canceled {
+		// Report the cancellation once instead of once per affected job.
+		if err := ctx.Err(); err != nil {
+			all = append(all, err)
+		} else {
+			all = append(all, context.Canceled)
+		}
 	}
 	return errors.Join(all...)
 }

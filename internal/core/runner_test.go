@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 func TestRunnerMediansAndReps(t *testing.T) {
 	r := NewRunner()
 	p := computeBoundToy(4000)
-	res, err := r.Measure(p, "default", kepler.Default)
+	res, err := r.Measure(context.Background(), p, "default", kepler.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func TestRunnerCaching(t *testing.T) {
 		},
 	}
 	r := NewRunner()
-	a, err := r.Measure(p, "default", kepler.Default)
+	a, err := r.Measure(context.Background(), p, "default", kepler.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Measure(p, "default", kepler.Default)
+	b, err := r.Measure(context.Background(), p, "default", kepler.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRunnerCaching(t *testing.T) {
 		t.Error("cache returned a different result pointer")
 	}
 	// Different config: a fresh run.
-	if _, err := r.Measure(p, "default", kepler.F614); err != nil {
+	if _, err := r.Measure(context.Background(), p, "default", kepler.F614); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 2 {
@@ -87,7 +88,7 @@ func TestRunnerPropagatesValidationError(t *testing.T) {
 		},
 	}
 	r := NewRunner()
-	if _, err := r.Measure(p, "default", kepler.Default); err == nil {
+	if _, err := r.Measure(context.Background(), p, "default", kepler.Default); err == nil {
 		t.Fatal("validation error swallowed")
 	}
 }
@@ -103,7 +104,7 @@ func TestRunnerInsufficientSamples(t *testing.T) {
 		},
 	}
 	r := NewRunner()
-	_, err := r.Measure(p, "default", kepler.Default)
+	_, err := r.Measure(context.Background(), p, "default", kepler.Default)
 	if err == nil {
 		t.Fatal("expected insufficiency")
 	}
@@ -128,7 +129,7 @@ func TestMeasureAllSkipsInsufficient(t *testing.T) {
 		},
 	}
 	r := NewRunner()
-	if err := r.MeasureAll(progs, []kepler.Clocks{kepler.Default}, false); err != nil {
+	if err := r.MeasureAll(context.Background(), progs, []kepler.Clocks{kepler.Default}, false); err != nil {
 		t.Fatalf("MeasureAll should skip insufficiency: %v", err)
 	}
 }
@@ -151,7 +152,7 @@ func TestMeasureAllAggregatesFailures(t *testing.T) {
 		broken("toy-broken-c"),
 	}
 	r := NewRunner()
-	err := r.MeasureAll(progs, []kepler.Clocks{kepler.Default}, false)
+	err := r.MeasureAll(context.Background(), progs, []kepler.Clocks{kepler.Default}, false)
 	if err == nil {
 		t.Fatal("MeasureAll swallowed hard failures")
 	}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/k20power"
+	"repro/internal/kepler"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+)
+
+// The measurement pipeline is an explicit sequence of named stages. Each
+// stage is individually timed (a duration histogram per stage in the
+// runner's metrics registry) and error-attributed: a failure surfaces as
+// "<program>/<input>@<config>: <stage>: <cause>". The stage split changes
+// no measured value — it is the same computation as the former monolithic
+// measure, cut at its natural seams.
+const (
+	// StageSimulate executes the program on a fresh simulated device.
+	StageSimulate = "simulate"
+	// StageTimeline converts the device's launch record into a power
+	// timeline and captures the simulator's ground truth.
+	StageTimeline = "timeline"
+	// StagePerturb applies the per-repetition runtime/power jitter.
+	StagePerturb = "perturb"
+	// StageRecord samples each perturbed timeline through the on-board
+	// sensor model.
+	StageRecord = "record"
+	// StageAnalyze runs the K20Power analysis per repetition and reduces
+	// the repetitions to their per-metric medians.
+	StageAnalyze = "analyze"
+)
+
+// StageNames lists the pipeline stages in execution order.
+var StageNames = []string{StageSimulate, StageTimeline, StagePerturb, StageRecord, StageAnalyze}
+
+// measureState carries one measurement through the staged pipeline.
+type measureState struct {
+	ctx   context.Context
+	p     Program
+	input string
+	clk   kepler.Clocks
+
+	dev       *sim.Device
+	segs      []power.Segment
+	seeds     []uint64
+	perturbed [][]power.Segment
+	samples   [][]sensor.Sample
+	res       *Result
+}
+
+// stage is one named step of the measurement pipeline.
+type stage struct {
+	name string
+	run  func(*Runner, *measureState) error
+}
+
+// measureStages is the pipeline in execution order.
+var measureStages = []stage{
+	{StageSimulate, (*Runner).stageSimulate},
+	{StageTimeline, (*Runner).stageTimeline},
+	{StagePerturb, (*Runner).stagePerturb},
+	{StageRecord, (*Runner).stageRecord},
+	{StageAnalyze, (*Runner).stageAnalyze},
+}
+
+// runStages drives st through the pipeline: a context check before every
+// stage (so cancellation is honored between stages as well as inside the
+// simulate stage's block loops), a duration observation per stage, and
+// error attribution naming the stage that failed.
+func (r *Runner) runStages(ctx context.Context, st *measureState) error {
+	m := r.metricsHandles()
+	for _, sg := range measureStages {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		err := sg.run(r, st)
+		m.stageHist[sg.name].Observe(time.Since(start))
+		if err != nil {
+			return fmt.Errorf("%s/%s@%s: %s: %w", st.p.Name(), st.input, st.clk.Name, sg.name, err)
+		}
+	}
+	return nil
+}
+
+// stageSimulate runs the program on a fresh device. Execution is
+// deterministic per configuration; cancellation aborts between thread
+// blocks and surfaces as the context error.
+func (r *Runner) stageSimulate(st *measureState) error {
+	dev := sim.NewDevice(st.clk)
+	dev.SetWorkerPool(r.workerPool())
+	st.dev = dev
+	return RunProgram(st.ctx, st.p, dev, st.input)
+}
+
+// stageTimeline derives the power timeline and ground truth from the
+// completed simulation.
+func (r *Runner) stageTimeline(st *measureState) error {
+	st.segs = power.Timeline(st.dev)
+	st.res = &Result{
+		Program:        st.p.Name(),
+		Input:          st.input,
+		Config:         st.clk.Name,
+		TrueActiveTime: st.dev.ActiveTime(),
+		TrueEnergy:     power.ActiveEnergy(st.dev),
+	}
+	return nil
+}
+
+// stagePerturb derives each repetition's seed and jittered timeline,
+// mirroring repeated wall-clock runs on a real machine.
+func (r *Runner) stagePerturb(st *measureState) error {
+	reps := r.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	st.seeds = make([]uint64, reps)
+	st.perturbed = make([][]power.Segment, reps)
+	for rep := 0; rep < reps; rep++ {
+		st.seeds[rep] = seedFor(st.p.Name(), st.input, st.clk.Model().Name, st.clk.Name, rep)
+		st.perturbed[rep] = perturbTimeline(st.segs, st.seeds[rep], r.RuntimeJitter)
+	}
+	return nil
+}
+
+// stageRecord samples every perturbed timeline through the sensor model.
+func (r *Runner) stageRecord(st *measureState) error {
+	st.samples = make([][]sensor.Sample, len(st.perturbed))
+	for rep := range st.perturbed {
+		st.samples[rep] = sensor.Record(st.perturbed[rep], sensor.DefaultOptions(st.seeds[rep]))
+	}
+	return nil
+}
+
+// stageAnalyze runs the K20Power analysis on each repetition's trace and
+// reduces the surviving repetitions to their per-metric medians. Individual
+// repetitions may fail (insufficient samples); the stage fails only when
+// none survive, reporting the first per-repetition error.
+func (r *Runner) stageAnalyze(st *measureState) error {
+	var firstErr error
+	for rep := range st.samples {
+		m, err := k20power.Analyze(st.samples[rep], r.Analysis)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		st.res.Reps = append(st.res.Reps, m)
+		if r.KeepTraces {
+			st.res.Traces = append(st.res.Traces, st.samples[rep])
+		}
+	}
+	if len(st.res.Reps) == 0 {
+		return firstErr
+	}
+	st.res.ActiveTime = medianOf(st.res.Reps, func(m k20power.Measurement) float64 { return m.ActiveTime })
+	st.res.Energy = medianOf(st.res.Reps, func(m k20power.Measurement) float64 { return m.Energy })
+	st.res.AvgPower = medianOf(st.res.Reps, func(m k20power.Measurement) float64 { return m.AvgPower })
+	return nil
+}

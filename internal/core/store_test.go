@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ func TestStoreRoundTrip(t *testing.T) {
 
 	r := NewRunner()
 	p := computeBoundToy(4000)
-	want, err := r.Measure(p, "default", kepler.Default)
+	want, err := r.Measure(context.Background(), p, "default", kepler.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err := r2.LoadStore(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r2.Measure(spy, "default", kepler.Default)
+	got, err := r2.Measure(context.Background(), spy, "default", kepler.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestStoreCachesInsufficiency(t *testing.T) {
 		},
 	}
 	r := NewRunner()
-	if _, err := r.Measure(tiny, "default", kepler.Default); err == nil {
+	if _, err := r.Measure(context.Background(), tiny, "default", kepler.Default); err == nil {
 		t.Fatal("expected insufficiency")
 	}
 	if err := r.SaveStore(path); err != nil {
@@ -85,7 +86,7 @@ func TestStoreCachesInsufficiency(t *testing.T) {
 		dev.Launch("k", 16, 256, func(c *sim.Ctx) { c.FP32Ops(10) })
 		return nil
 	}}
-	_, err := r2.Measure(spy, "default", kepler.Default)
+	_, err := r2.Measure(context.Background(), spy, "default", kepler.Default)
 	if err == nil || !IsInsufficient(err) {
 		t.Fatalf("cached insufficiency not reproduced: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestSaveStoreConcurrentWithMeasure(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := r.Measure(p, "default", kepler.Default); err != nil {
+			if _, err := r.Measure(context.Background(), p, "default", kepler.Default); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -200,7 +201,7 @@ func TestSaveStoreConcurrentWithMeasure(t *testing.T) {
 			t.Errorf("%s re-ran despite persisted store", p.name)
 			return nil
 		}}
-		if _, err := r2.Measure(spy, "default", kepler.Default); err != nil {
+		if _, err := r2.Measure(context.Background(), spy, "default", kepler.Default); err != nil {
 			t.Errorf("%s: %v", p.name, err)
 		}
 	}

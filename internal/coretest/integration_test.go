@@ -5,6 +5,7 @@
 package coretest
 
 import (
+	"context"
 	"errors"
 	"os"
 	"testing"
@@ -31,7 +32,7 @@ func measure(t *testing.T, name, input string, clk kepler.Clocks) *core.Result {
 	if input == "" {
 		input = p.DefaultInput()
 	}
-	res, err := sharedRunner.Measure(p, input, clk)
+	res, err := sharedRunner.Measure(context.Background(), p, input, clk)
 	if err != nil {
 		t.Fatalf("%s/%s@%s: %v", name, input, clk.Name, err)
 	}
@@ -159,7 +160,7 @@ func TestFastVariantsNotMeasurable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = sharedRunner.Measure(p, "usa", kepler.Default)
+		_, err = sharedRunner.Measure(context.Background(), p, "usa", kepler.Default)
 		if err == nil {
 			t.Errorf("%s was measurable; the paper reports insufficient samples", name)
 			continue
@@ -176,7 +177,7 @@ func TestTable4Ordering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-suite BFS comparison is slow")
 	}
-	rows, err := core.Table4(sharedRunner, suites.BFSCross())
+	rows, err := core.Table4(context.Background(), sharedRunner, suites.BFSCross())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestMeasurementTracksTruth(t *testing.T) {
 // Table 2 shape: average run-to-run variability stays in the low percent
 // range, as the paper reports.
 func TestVariabilityBand(t *testing.T) {
-	rows, err := core.Table2(sharedRunner, []core.Program{
+	rows, err := core.Table2(context.Background(), sharedRunner, []core.Program{
 		mustProg(t, "NB"), mustProg(t, "STEN"), mustProg(t, "SC"),
 	})
 	if err != nil {
@@ -268,7 +269,7 @@ func mustProg(t *testing.T, name string) core.Program {
 // Paper IV.B: the same findings hold on the K20m, K20x and K40 after
 // scaling the absolute measurements.
 func TestCrossGPUFindingsAgree(t *testing.T) {
-	rows, err := core.CrossGPU(sharedRunner, []core.Program{
+	rows, err := core.CrossGPU(context.Background(), sharedRunner, []core.Program{
 		mustProg(t, "NB"), mustProg(t, "STEN"),
 	})
 	if err != nil {
@@ -317,7 +318,7 @@ func TestAllProgramsAllInputsValidate(t *testing.T) {
 			t.Run(p.Name()+"/"+input, func(t *testing.T) {
 				t.Parallel()
 				dev := simNewDefault()
-				if err := p.Run(dev, input); err != nil {
+				if err := p.Run(context.Background(), dev, input); err != nil {
 					t.Fatal(err)
 				}
 				if dev.ActiveTime() <= 0 {
@@ -337,7 +338,7 @@ func TestSimulationDeterminism(t *testing.T) {
 	p := mustProg(t, "DMR")
 	run := func() (float64, int) {
 		dev := simNewDefault()
-		if err := p.Run(dev, "250k"); err != nil {
+		if err := p.Run(context.Background(), dev, "250k"); err != nil {
 			t.Fatal(err)
 		}
 		return dev.ActiveTime(), len(dev.Launches)
@@ -363,7 +364,7 @@ func TestProgramStatsPlausible(t *testing.T) {
 		p := p
 		dev := simNewDefault()
 		input := p.Inputs()[0] // smallest input keeps this test quick
-		if err := p.Run(dev, input); err != nil {
+		if err := p.Run(context.Background(), dev, input); err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
 		var warps, txns, compute, bytes int64
@@ -422,11 +423,11 @@ func TestTooShortProgramsRejected(t *testing.T) {
 		t.Run(p.Name(), func(t *testing.T) {
 			// The program itself must run and validate...
 			dev := simNewDefault()
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			// ...but measuring it must fail for lack of samples.
-			_, err := sharedRunner.Measure(p, p.DefaultInput(), kepler.Default)
+			_, err := sharedRunner.Measure(context.Background(), p, p.DefaultInput(), kepler.Default)
 			if err == nil {
 				t.Fatal("short program was measurable")
 			}
@@ -443,7 +444,7 @@ func TestVerifyFindings(t *testing.T) {
 	if os.Getenv("GPUCHAR_FINDINGS") == "" {
 		t.Skip("full findings sweep exceeds the default go-test timeout; set GPUCHAR_FINDINGS=1 (and -timeout 40m) to run, or use gpuchar -exp findings")
 	}
-	findings, err := core.VerifyFindings(sharedRunner, suites.All(),
+	findings, err := core.VerifyFindings(context.Background(), sharedRunner, suites.All(),
 		suites.LBFSVariants(), suites.SSSPVariants())
 	if err != nil {
 		t.Fatal(err)

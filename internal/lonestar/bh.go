@@ -1,6 +1,7 @@
 package lonestar
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,7 +61,7 @@ type octNode struct {
 
 // Run advances the system and validates the tree-walk forces against
 // direct summation within the Barnes-Hut approximation tolerance.
-func (p *BH) Run(dev *sim.Device, input string) error {
+func (p *BH) Run(ctx context.Context, dev *sim.Device, input string) error {
 	n, realN, steps, err := bhInput(input)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package lonestar
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -77,7 +78,7 @@ func (p *LBFS) Items(input string) (int64, int64) {
 }
 
 // Run traverses the road graph and validates levels against the reference.
-func (p *LBFS) Run(dev *sim.Device, input string) error {
+func (p *LBFS) Run(ctx context.Context, dev *sim.Device, input string) error {
 	g, ratio, err := roadInput(input)
 	if err != nil {
 		return err

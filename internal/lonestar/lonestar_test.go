@@ -1,6 +1,7 @@
 package lonestar
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -59,7 +60,7 @@ func TestAllRunAndValidate(t *testing.T) {
 		t.Run(p.Name(), func(t *testing.T) {
 			t.Parallel()
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, smallInput(p)); err != nil {
+			if err := p.Run(context.Background(), dev, smallInput(p)); err != nil {
 				t.Fatal(err)
 			}
 			if dev.ActiveTime() <= 0 {
@@ -88,7 +89,7 @@ func TestIterationCountsConfigDependent(t *testing.T) {
 	counts := map[string]int{}
 	for _, clk := range []kepler.Clocks{kepler.Default, kepler.F614, kepler.F324} {
 		dev := sim.NewDevice(clk)
-		if err := p.Run(dev, "lakes"); err != nil {
+		if err := p.Run(context.Background(), dev, "lakes"); err != nil {
 			t.Fatal(err)
 		}
 		counts[clk.Name] = len(dev.Launches)
@@ -106,7 +107,7 @@ func TestCalibrationDump(t *testing.T) {
 	for _, p := range progs {
 		for _, clk := range kepler.Configs {
 			dev := sim.NewDevice(clk)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
 			}
 			at := dev.ActiveTime()

@@ -1,6 +1,7 @@
 package lonestar
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -83,7 +84,7 @@ func ptaInput(input string) (*ptaConstraints, float64, error) {
 
 // Run solves the constraints to a fixpoint and validates the result against
 // an independent sequential solver (exact set equality).
-func (p *PTA) Run(dev *sim.Device, input string) error {
+func (p *PTA) Run(ctx context.Context, dev *sim.Device, input string) error {
 	cs, ratio, err := ptaInput(input)
 	if err != nil {
 		return err

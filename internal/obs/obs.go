@@ -1,0 +1,286 @@
+// Package obs is the measurement pipeline's observability layer: a small,
+// allocation-free metrics registry with counters, gauges and duration
+// histograms. The Runner records per-stage timings, cache traffic and sweep
+// progress into a Registry; the worker pool records its utilization; and
+// gpuchar -metrics dumps the registry as JSON at exit.
+//
+// Hot paths hold pre-resolved *Counter/*Gauge/*Histogram handles, so
+// recording an event is a handful of atomic operations and never allocates.
+// Registration (Registry.Counter and friends) allocates once per metric name
+// and is meant for setup code, not per-event paths.
+//
+// Metrics never feed back into the simulation: they observe wall-clock time
+// and event counts, both of which vary run to run, while every measured
+// value stays bit-identical with or without instrumentation.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (pool occupancy, jobs in flight).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Max raises the gauge to n if n is larger (high-water marks).
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential duration buckets. Bucket i
+// counts observations in [2^i µs, 2^(i+1) µs); bucket 0 also absorbs
+// everything below 1µs and the last bucket everything above ~2.3 hours.
+const histBuckets = 33
+
+// Histogram is a fixed-bucket exponential duration histogram. Observations
+// are a few atomic adds; no locks, no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; math.MaxInt64 when empty
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+}
+
+// bucketFor maps a duration in nanoseconds to its bucket index.
+func bucketFor(ns int64) int {
+	us := ns / 1e3
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the exponential
+// buckets: it returns the upper bound of the bucket holding the q-th
+// observation, so the estimate is within a factor of two. Returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return time.Duration(1e3 * (int64(1) << uint(i+1))) // bucket upper bound
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; Counter/Gauge/Histogram return the same handle for the
+// same name, creating it on first use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the exported state of one histogram. Durations are
+// seconds, matching the units of every other quantity in the pipeline.
+type HistogramSnapshot struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sumSeconds"`
+	MinSeconds float64 `json:"minSeconds"`
+	MaxSeconds float64 `json:"maxSeconds"`
+	P50Seconds float64 `json:"p50Seconds"`
+	P99Seconds float64 `json:"p99Seconds"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:      h.Count(),
+			SumSeconds: h.Sum().Seconds(),
+			P50Seconds: h.Quantile(0.50).Seconds(),
+			P99Seconds: h.Quantile(0.99).Seconds(),
+		}
+		if hs.Count > 0 {
+			hs.MinSeconds = time.Duration(h.min.Load()).Seconds()
+			hs.MaxSeconds = time.Duration(h.max.Load()).Seconds()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Map keys are
+// marshaled in sorted order, so the dump is stable for a given state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Names returns the registered metric names of every kind, sorted (for
+// tests and debug listings).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("Counter = %d, want 5", got)
+	}
+
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("Gauge = %d, want 7", got)
+	}
+	g.Max(5) // below current: no-op
+	g.Max(42)
+	if got := g.Value(); got != 42 {
+		t.Errorf("Gauge.Max = %d, want 42", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram: count %d, p50 %v", h.Count(), h.Quantile(0.5))
+	}
+	obs := []time.Duration{time.Microsecond, 10 * time.Microsecond, time.Millisecond, 4 * time.Millisecond, time.Second}
+	for _, d := range obs {
+		h.Observe(d)
+	}
+	if h.Count() != int64(len(obs)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(obs))
+	}
+	var want time.Duration
+	for _, d := range obs {
+		want += d
+	}
+	if h.Sum() != want {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	// The quantile estimate is the upper bound of the bucket, so it is
+	// within a factor of two above the true value.
+	p50, true50 := h.Quantile(0.5), obs[2]
+	if p50 < true50 || p50 > 2*true50 {
+		t.Errorf("p50 = %v, want within [%v, %v]", p50, true50, 2*true50)
+	}
+	h.Observe(-time.Second) // clamped to 0, must not corrupt state
+	if h.Count() != int64(len(obs))+1 {
+		t.Errorf("Count after negative observe = %d", h.Count())
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{999, 0},                         // sub-microsecond
+		{1e3, 0},                         // 1µs
+		{2e3, 1},                         // 2µs
+		{1e9, 19},                        // 1s: 1e6µs, floor(log2) = 19
+		{math.MaxInt64, histBuckets - 1}, // overflow clamps
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.ns); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestRegistryIdentityAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("hits") != r.Counter("hits") {
+		t.Error("Counter does not return a stable handle")
+	}
+	if r.Gauge("depth") != r.Gauge("depth") {
+		t.Error("Gauge does not return a stable handle")
+	}
+	if r.Histogram("lat") != r.Histogram("lat") {
+		t.Error("Histogram does not return a stable handle")
+	}
+	r.Counter("hits").Add(3)
+	r.Gauge("depth").Set(-2)
+	r.Histogram("lat").Observe(5 * time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counters["hits"] != 3 || s.Gauges["depth"] != -2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 1 || hs.SumSeconds != 0.005 || hs.MinSeconds != 0.005 || hs.MaxSeconds != 0.005 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+
+	names := r.Names()
+	want := []string{"depth", "hits", "lat"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("measure_cache_hits").Add(7)
+	r.Histogram("stage_simulate_seconds").Observe(time.Second)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["measure_cache_hits"] != 7 {
+		t.Errorf("round-tripped counter = %d, want 7", s.Counters["measure_cache_hits"])
+	}
+	if s.Histograms["stage_simulate_seconds"].Count != 1 {
+		t.Errorf("round-tripped histogram = %+v", s.Histograms["stage_simulate_seconds"])
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Max(int64(j))
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 999 {
+		t.Errorf("concurrent gauge max = %d, want 999", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}

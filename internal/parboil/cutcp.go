@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -38,7 +39,7 @@ const (
 
 // Run computes the potential and validates sampled grid points against a
 // cutoff-consistent brute-force reference.
-func (p *CUTCP) Run(dev *sim.Device, input string) error {
+func (p *CUTCP) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

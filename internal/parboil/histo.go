@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -35,7 +36,7 @@ const (
 // Run histograms a synthetic image (gaussian-ish hot spot over a uniform
 // background, like the Parboil input) and validates against a sequential
 // saturating histogram.
-func (p *Histo) Run(dev *sim.Device, input string) error {
+func (p *Histo) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

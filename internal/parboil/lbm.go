@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -55,7 +56,7 @@ var lbmWeights = [lbmQ]float64{
 }
 
 // Run advances the cavity and validates mass conservation.
-func (p *LBM) Run(dev *sim.Device, input string) error {
+func (p *LBM) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -36,7 +37,7 @@ func TestAllRunAndValidate(t *testing.T) {
 		t.Run(p.Name(), func(t *testing.T) {
 			t.Parallel()
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			if dev.ActiveTime() <= 0 {
@@ -50,10 +51,10 @@ func TestLBMInputsDiffer(t *testing.T) {
 	p := NewLBM()
 	short := sim.NewDevice(kepler.Default)
 	long := sim.NewDevice(kepler.Default)
-	if err := p.Run(short, "100"); err != nil {
+	if err := p.Run(context.Background(), short, "100"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Run(long, "3000"); err != nil {
+	if err := p.Run(context.Background(), long, "3000"); err != nil {
 		t.Fatal(err)
 	}
 	// The short input carries a 4x harness-loop boost so it stays
@@ -78,7 +79,7 @@ func TestCalibrationDump(t *testing.T) {
 	for _, p := range Programs() {
 		for _, clk := range kepler.Configs {
 			dev := sim.NewDevice(clk)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
 			}
 			at := dev.ActiveTime()

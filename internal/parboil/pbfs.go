@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -43,7 +44,7 @@ func (p *PBFS) Items(input string) (int64, int64) {
 
 // Run performs the full traversal and validates the levels against the
 // sequential reference BFS.
-func (p *PBFS) Run(dev *sim.Device, input string) error {
+func (p *PBFS) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -35,7 +36,7 @@ const (
 
 // Run computes motion-estimation SADs and validates the best candidate of
 // sampled macroblocks against a reference search.
-func (p *SAD) Run(dev *sim.Device, input string) error {
+func (p *SAD) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -36,7 +37,7 @@ const (
 
 // Run multiplies random matrices and validates sampled rows against a
 // float64 reference.
-func (p *SGEMM) Run(dev *sim.Device, input string) error {
+func (p *SGEMM) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -36,7 +37,7 @@ const (
 
 // Run smooths a random grid and validates two full sweeps against a
 // sequential reference.
-func (p *Stencil) Run(dev *sim.Device, input string) error {
+func (p *Stencil) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

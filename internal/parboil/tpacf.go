@@ -1,6 +1,7 @@
 package parboil
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -34,7 +35,7 @@ const (
 )
 
 // Run histograms pair angles and validates against a sequential recompute.
-func (p *TPACF) Run(dev *sim.Device, input string) error {
+func (p *TPACF) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

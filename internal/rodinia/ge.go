@@ -1,6 +1,7 @@
 package rodinia
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -34,7 +35,7 @@ const (
 )
 
 // Run solves A x = b and validates the residual.
-func (p *GE) Run(dev *sim.Device, input string) error {
+func (p *GE) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package rodinia
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -33,7 +34,7 @@ const (
 )
 
 // Run finds the k nearest records and validates against a sequential scan.
-func (p *NN) Run(dev *sim.Device, input string) error {
+func (p *NN) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package rodinia
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -40,7 +41,7 @@ func pfShape(input string) (cols, rows, pyramid int, realCols float64, err error
 
 // Run computes the min-cost path values and validates against a sequential
 // DP.
-func (p *PF) Run(dev *sim.Device, input string) error {
+func (p *PF) Run(ctx context.Context, dev *sim.Device, input string) error {
 	cols, rows, pyramid, realCols, err := pfShape(input)
 	if err != nil {
 		return err

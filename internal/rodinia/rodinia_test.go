@@ -1,6 +1,7 @@
 package rodinia
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -35,7 +36,7 @@ func TestAllRunAndValidate(t *testing.T) {
 		t.Run(p.Name(), func(t *testing.T) {
 			t.Parallel()
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			if dev.ActiveTime() <= 0 {
@@ -56,10 +57,10 @@ func TestMUMInputsDiffer(t *testing.T) {
 	p := NewMUM()
 	short := sim.NewDevice(kepler.Default)
 	long := sim.NewDevice(kepler.Default)
-	if err := p.Run(short, "25bp"); err != nil {
+	if err := p.Run(context.Background(), short, "25bp"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Run(long, "100bp"); err != nil {
+	if err := p.Run(context.Background(), long, "100bp"); err != nil {
 		t.Fatal(err)
 	}
 	if long.ActiveTime() <= short.ActiveTime() {
@@ -74,7 +75,7 @@ func TestCalibrationDump(t *testing.T) {
 	for _, p := range Programs() {
 		for _, clk := range kepler.Configs {
 			dev := sim.NewDevice(clk)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
 			}
 			at := dev.ActiveTime()
@@ -89,7 +90,7 @@ func TestShortProgramsRunAndValidate(t *testing.T) {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			// The whole point: runtimes far too short for the sensor.
@@ -112,7 +113,7 @@ func TestAllInputVariantsOfMultiInputPrograms(t *testing.T) {
 				t.Fatal(err)
 			}
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, spec.input); err != nil {
+			if err := p.Run(context.Background(), dev, spec.input); err != nil {
 				t.Fatal(err)
 			}
 		})

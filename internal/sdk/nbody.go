@@ -1,6 +1,7 @@
 package sdk
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,7 +54,7 @@ const (
 
 // Run performs nbTimesteps leapfrog steps and validates momentum
 // conservation (total momentum of an isolated system must stay ~0).
-func (p *NBody) Run(dev *sim.Device, input string) error {
+func (p *NBody) Run(ctx context.Context, dev *sim.Device, input string) error {
 	n, realN, loops, err := nbInput(input)
 	if err != nil {
 		return err

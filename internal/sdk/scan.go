@@ -1,6 +1,7 @@
 package sdk
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -31,7 +32,7 @@ const (
 )
 
 // Run scans a random array and validates against a sequential prefix sum.
-func (p *Scan) Run(dev *sim.Device, input string) error {
+func (p *Scan) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

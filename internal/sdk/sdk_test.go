@@ -1,6 +1,7 @@
 package sdk
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -38,7 +39,7 @@ func TestAllRunAndValidate(t *testing.T) {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			if len(dev.Launches) == 0 {
@@ -56,7 +57,7 @@ func TestNBodyAllInputs(t *testing.T) {
 	var prev float64
 	for _, in := range p.Inputs() {
 		dev := sim.NewDevice(kepler.Default)
-		if err := p.Run(dev, in); err != nil {
+		if err := p.Run(context.Background(), dev, in); err != nil {
 			t.Fatalf("%s: %v", in, err)
 		}
 		at := dev.ActiveTime()
@@ -70,7 +71,7 @@ func TestNBodyAllInputs(t *testing.T) {
 func TestUnknownInputRejected(t *testing.T) {
 	for _, p := range Programs() {
 		dev := sim.NewDevice(kepler.Default)
-		if err := p.Run(dev, "no-such-input"); err == nil {
+		if err := p.Run(context.Background(), dev, "no-such-input"); err == nil {
 			t.Errorf("%s: unknown input accepted", p.Name())
 		}
 	}
@@ -84,7 +85,7 @@ func TestCalibrationDump(t *testing.T) {
 	for _, p := range Programs() {
 		for _, clk := range kepler.Configs {
 			dev := sim.NewDevice(clk)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
 			}
 			at := dev.ActiveTime()

@@ -1,6 +1,7 @@
 package shoc
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 
@@ -35,7 +36,7 @@ const (
 // Run performs forward transforms in both precisions and validates the
 // single-precision result against a direct DFT on sampled bins plus a
 // round-trip inverse.
-func (p *FFT) Run(dev *sim.Device, input string) error {
+func (p *FFT) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package shoc
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -40,7 +41,7 @@ const (
 
 // Run computes the forces and validates sampled atoms against a float64
 // recompute over the same neighbor lists.
-func (p *MD) Run(dev *sim.Device, input string) error {
+func (p *MD) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package shoc
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -38,7 +39,7 @@ const (
 
 // Run clusters the points and validates that every produced cluster
 // respects the diameter threshold and that the greedy choice was maximal.
-func (p *QTC) Run(dev *sim.Device, input string) error {
+func (p *QTC) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package shoc
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -35,7 +36,7 @@ const (
 )
 
 // Run smooths the grid and validates against a sequential replay.
-func (p *S2D) Run(dev *sim.Device, input string) error {
+func (p *S2D) Run(ctx context.Context, dev *sim.Device, input string) error {
 	if err := p.CheckInput(input); err != nil {
 		return err
 	}

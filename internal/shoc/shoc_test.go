@@ -1,6 +1,7 @@
 package shoc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -35,7 +36,7 @@ func TestAllRunAndValidate(t *testing.T) {
 		t.Run(p.Name(), func(t *testing.T) {
 			t.Parallel()
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			if dev.ActiveTime() <= 0 {
@@ -59,7 +60,7 @@ func TestCalibrationDump(t *testing.T) {
 	for _, p := range Programs() {
 		for _, clk := range kepler.Configs {
 			dev := sim.NewDevice(clk)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatalf("%s@%s: %v", p.Name(), clk.Name, err)
 			}
 			at := dev.ActiveTime()
@@ -74,7 +75,7 @@ func TestShortProgramsRunAndValidate(t *testing.T) {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			dev := sim.NewDevice(kepler.Default)
-			if err := p.Run(dev, p.DefaultInput()); err != nil {
+			if err := p.Run(context.Background(), dev, p.DefaultInput()); err != nil {
 				t.Fatal(err)
 			}
 			if dev.ActiveTime() > 1.0 {

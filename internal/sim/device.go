@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hashing"
@@ -93,6 +94,10 @@ type Device struct {
 	pool *WorkerPool
 	// blockCycles is reused across launches for per-block issue cycles.
 	blockCycles []float64
+
+	// ctx is the cancellation signal the launch loops poll at block
+	// granularity; Background when the device was not given one.
+	ctx context.Context
 }
 
 // NewDevice creates a device at the given clock configuration. The seed
@@ -107,6 +112,7 @@ func NewDevice(clk kepler.Clocks) *Device {
 		timeScale:      1,
 		exec:           newBlockExecutor(),
 		pool:           defaultPool,
+		ctx:            context.Background(),
 	}
 	return d
 }
@@ -116,6 +122,19 @@ func NewDevice(clk kepler.Clocks) *Device {
 // that already run many devices concurrently (core.Runner) pass their own
 // pool so cross-job and intra-launch parallelism share one budget.
 func (d *Device) SetWorkerPool(p *WorkerPool) { d.pool = p }
+
+// SetContext attaches a cancellation context to the device. Launch loops
+// poll it at block granularity: when ctx is canceled, the in-flight launch
+// aborts between blocks by unwinding with a cancellation panic (see
+// CancelCause), so completed launches remain bit-identical to an uncanceled
+// run and no partial launch is ever recorded. A nil ctx resets to
+// Background (never canceled).
+func (d *Device) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.ctx = ctx
+}
 
 // Now returns the simulated time in seconds.
 func (d *Device) Now() float64 { return d.now }

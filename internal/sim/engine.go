@@ -71,6 +71,7 @@ func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
 	if spec.Grid <= 0 || spec.Block <= 0 {
 		panic("sim: launch with empty grid or block")
 	}
+	d.checkCanceled()
 	if spec.Block > kepler.MaxThreadsPerBlock {
 		panic("sim: block size exceeds device limit")
 	}
@@ -125,6 +126,7 @@ func (d *Device) runOrdered(spec LaunchSpec, fn ThreadFunc, seed uint64, blockCy
 	stride, offset := scheduleParams(seed, spec.Grid)
 	b := offset
 	for i := 0; i < spec.Grid; i++ {
+		d.checkCanceled()
 		bs := d.exec.runBlock(spec, fn, b)
 		blockCycles[b] = issueCycles(&bs)
 		stats.Add(&bs)
@@ -171,6 +173,7 @@ func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float6
 		// kernels never observe the schedule permutation, so worker
 		// availability cannot change what fn computes.
 		for b := 0; b < spec.Grid; b++ {
+			d.checkCanceled()
 			bs := d.exec.runBlock(spec, fn, b)
 			blockCycles[b] = issueCycles(&bs)
 			stats.Add(&bs)
@@ -182,6 +185,13 @@ func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float6
 	partials := make([]trace.KernelStats, extra+1)
 	work := func(w int, e *blockExecutor) {
 		for {
+			// Workers poll the context per block and simply stop pulling
+			// work when it fires; the caller turns the abort into a
+			// cancellation panic after every worker has parked, so no
+			// goroutine unwinds on its own.
+			if d.ctx.Err() != nil {
+				return
+			}
 			b := int(next.Add(1)) - 1
 			if b >= spec.Grid {
 				return
@@ -203,6 +213,7 @@ func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float6
 	}
 	work(0, d.exec)
 	wg.Wait()
+	d.checkCanceled()
 	trace.MergePartials(stats, partials)
 }
 

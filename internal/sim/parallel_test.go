@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -134,7 +135,9 @@ func TestWorkerPoolAccounting(t *testing.T) {
 	if p.Budget() != 3 {
 		t.Fatalf("budget = %d", p.Budget())
 	}
-	p.Acquire() // 1 in use
+	if err := p.Acquire(context.Background()); err != nil { // 1 in use
+		t.Fatal(err)
+	}
 	if got := p.TryAcquire(5); got != 2 {
 		t.Errorf("TryAcquire(5) = %d, want 2 (pool saturated after)", got)
 	}
@@ -148,7 +151,9 @@ func TestWorkerPoolAccounting(t *testing.T) {
 	p.Release(3) // all slots back
 	done := make(chan struct{})
 	go func() {
-		p.Acquire() // must not block: slots free
+		if err := p.Acquire(context.Background()); err != nil { // must not block: slots free
+			t.Error(err)
+		}
 		p.Release(1)
 		close(done)
 	}()

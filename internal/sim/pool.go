@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // WorkerPool is a budget of simulation workers shared between concurrent
@@ -21,6 +24,14 @@ type WorkerPool struct {
 	cond   *sync.Cond
 	budget int
 	inUse  int
+
+	// Optional metrics, nil until Instrument is called. All are updated
+	// under mu, so the instrument fields themselves need no atomics.
+	inUseGauge  *obs.Gauge
+	peakGauge   *obs.Gauge
+	acquires    *obs.Counter
+	shardGrants *obs.Counter
+	shardDenies *obs.Counter
 }
 
 // NewWorkerPool returns a pool with n worker slots (min 1).
@@ -33,6 +44,32 @@ func NewWorkerPool(n int) *WorkerPool {
 	return p
 }
 
+// Instrument registers the pool's utilization metrics in reg:
+// pool_workers_budget (gauge), pool_workers_in_use (gauge),
+// pool_workers_in_use_peak (gauge), pool_acquires_total,
+// pool_shard_slots_granted_total and pool_shard_denials_total (counters).
+func (p *WorkerPool) Instrument(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	reg.Gauge("pool_workers_budget").Set(int64(p.budget))
+	p.inUseGauge = reg.Gauge("pool_workers_in_use")
+	p.peakGauge = reg.Gauge("pool_workers_in_use_peak")
+	p.acquires = reg.Counter("pool_acquires_total")
+	p.shardGrants = reg.Counter("pool_shard_slots_granted_total")
+	p.shardDenies = reg.Counter("pool_shard_denials_total")
+	p.noteUseLocked()
+}
+
+// noteUseLocked publishes the current occupancy to the gauges. Callers hold
+// mu.
+func (p *WorkerPool) noteUseLocked() {
+	if p.inUseGauge == nil {
+		return
+	}
+	p.inUseGauge.Set(int64(p.inUse))
+	p.peakGauge.Max(int64(p.inUse))
+}
+
 // Budget returns the pool size.
 func (p *WorkerPool) Budget() int {
 	p.mu.Lock()
@@ -40,14 +77,41 @@ func (p *WorkerPool) Budget() int {
 	return p.budget
 }
 
-// Acquire blocks until a slot is free and claims it.
-func (p *WorkerPool) Acquire() {
+// Acquire blocks until a slot is free and claims it, or returns the context
+// error if ctx is canceled first. A nil ctx never cancels.
+func (p *WorkerPool) Acquire(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		// Wake the condition variable when the context fires; holding the
+		// lock around Broadcast guarantees the waiter below cannot miss the
+		// wakeup between its ctx check and cond.Wait.
+		stop := context.AfterFunc(ctx, func() {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.cond.Broadcast()
+		})
+		defer stop()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// A canceled caller never claims a slot, even when one is free.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for p.inUse >= p.budget {
 		p.cond.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	p.inUse++
+	if p.acquires != nil {
+		p.acquires.Inc()
+	}
+	p.noteUseLocked()
+	return nil
 }
 
 // TryAcquire claims up to max slots without blocking and returns how many it
@@ -66,6 +130,13 @@ func (p *WorkerPool) TryAcquire(max int) int {
 		n = 0
 	}
 	p.inUse += n
+	switch {
+	case n > 0 && p.shardGrants != nil:
+		p.shardGrants.Add(int64(n))
+	case n == 0 && p.shardDenies != nil:
+		p.shardDenies.Inc()
+	}
+	p.noteUseLocked()
 	return n
 }
 
@@ -79,6 +150,7 @@ func (p *WorkerPool) Release(n int) {
 	if p.inUse < 0 {
 		p.inUse = 0
 	}
+	p.noteUseLocked()
 	p.mu.Unlock()
 	p.cond.Broadcast()
 }

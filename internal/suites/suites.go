@@ -5,6 +5,8 @@ package suites
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/lonestar"
@@ -44,16 +46,62 @@ func TooShort() []core.Program {
 	}
 }
 
-// ByName finds a program (including variants) by its short name.
-func ByName(name string) (core.Program, error) {
-	all := append(All(), Variants()...)
-	all = append(all, TooShort()...)
-	for _, p := range all {
-		if p.Name() == name {
-			return p, nil
+// registry is the lazily built name index over every constructible program
+// (studied set, variants and too-short programs). Programs are reentrant by
+// contract (core.Program), so handing out one shared instance per name is
+// safe; building the index once replaces the former rebuild-everything scan
+// on every ByName call.
+var registry struct {
+	once   sync.Once
+	byName map[string]core.Program
+	names  []string
+	dup    error
+}
+
+func buildRegistry() {
+	registry.byName = make(map[string]core.Program, 48)
+	add := func(ps []core.Program) {
+		for _, p := range ps {
+			if _, exists := registry.byName[p.Name()]; exists {
+				if registry.dup == nil {
+					registry.dup = fmt.Errorf("suites: duplicate program name %q", p.Name())
+				}
+				continue
+			}
+			registry.byName[p.Name()] = p
+			registry.names = append(registry.names, p.Name())
 		}
 	}
-	return nil, fmt.Errorf("suites: unknown program %q", name)
+	add(All())
+	add(Variants())
+	add(TooShort())
+	sort.Strings(registry.names)
+}
+
+// ByName finds a program (including variants and the too-short set) by its
+// short name. The lookup is backed by a registry built once on first use;
+// a duplicate program name anywhere in the suites is reported as an error
+// from every lookup (and caught by the registry guard test).
+func ByName(name string) (core.Program, error) {
+	registry.once.Do(buildRegistry)
+	if registry.dup != nil {
+		return nil, registry.dup
+	}
+	p, ok := registry.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("suites: unknown program %q", name)
+	}
+	return p, nil
+}
+
+// Names returns every registered program name, sorted. It exists for
+// listings and the duplicate-name guard test.
+func Names() ([]string, error) {
+	registry.once.Do(buildRegistry)
+	if registry.dup != nil {
+		return nil, registry.dup
+	}
+	return append([]string(nil), registry.names...), nil
 }
 
 // BFSCross returns the four cross-suite BFS implementations of Table 4.

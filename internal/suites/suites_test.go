@@ -47,6 +47,46 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestRegistryNamesUnique is the duplicate-name guard: every constructible
+// program (studied set, variants, too-short) must register under a unique
+// name, or ByName would silently shadow one program with another.
+func TestRegistryNamesUnique(t *testing.T) {
+	names, err := Names()
+	if err != nil {
+		t.Fatalf("registry reports a duplicate: %v", err)
+	}
+	wantLen := len(All()) + len(Variants()) + len(TooShort())
+	if len(names) != wantLen {
+		t.Fatalf("registry has %d names, want %d (a collision dropped one)", len(names), wantLen)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("Names() returned %q twice", n)
+		}
+		seen[n] = true
+		if _, err := ByName(n); err != nil {
+			t.Errorf("registered name %q not resolvable: %v", n, err)
+		}
+	}
+}
+
+// The registry hands out one shared instance per name (programs are
+// reentrant by contract), instead of rebuilding all suites per lookup.
+func TestByNameReturnsSharedInstance(t *testing.T) {
+	a, err := ByName("DMR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("DMR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("ByName rebuilt the program instead of serving the registry instance")
+	}
+}
+
 func TestBFSCross(t *testing.T) {
 	bfs := BFSCross()
 	if len(bfs) != 4 {
