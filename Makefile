@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden smoke ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke serve-smoke ci
 
 all: ci
 
@@ -44,5 +44,13 @@ smoke:
 	jq -e '.counters.measure_cache_hits > 0' /tmp/gpuchar-smoke-2.json
 	jq -e '.counters.measure_cache_misses == 0' /tmp/gpuchar-smoke-2.json
 	jq -e '.histograms.stage_simulate_seconds.count == 0' /tmp/gpuchar-smoke-2.json
+
+# gpuchard coalescing + graceful-shutdown smoke: N concurrent identical
+# measure requests against the real server must cost exactly one simulation
+# and return byte-identical bodies; SIGTERM must save the store. Mirrors the
+# CI serve-smoke job; needs curl and jq.
+serve-smoke:
+	$(GO) build -o /tmp/gpuchard-smoke ./cmd/gpuchard
+	./scripts/serve_smoke.sh /tmp/gpuchard-smoke /tmp/gpuchard-smoke-store.json
 
 ci: vet build race test fuzz

@@ -1,0 +1,90 @@
+// Command gpuchard is the long-running measurement service (the daemon
+// counterpart of gpuchar): an HTTP JSON API that measures the benchmark
+// programs through the full simulated measurement stack on demand, coalesces
+// concurrent identical requests onto one simulation, runs asynchronous
+// sweeps, and persists the measurement cache across restarts.
+//
+// Usage:
+//
+//	gpuchard -addr :8080 -store sweep.json
+//	gpuchard -addr :8080 -store sweep.json -snapshot 1m -timeout 5m -workers 4
+//
+// Endpoints:
+//
+//	POST /v1/measure   {"program":"NB","input":"...","config":"614"}
+//	POST /v1/sweep     {"programs":[...],"configs":[...],"allInputs":false}
+//	GET  /v1/jobs/{id} sweep progress
+//	GET  /v1/results   every cached measurement and exclusion
+//	GET  /metrics      observability registry snapshot (JSON)
+//	GET  /healthz      liveness + cache occupancy
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
+// get -drain to finish (then their simulations are aborted at the next
+// thread-block boundary), and the store is snapshotted before exit — so a
+// restarted server warm-starts from everything it had measured.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/suites"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		store    = flag.String("store", "", "measurement store: loaded at startup, snapshotted periodically and on shutdown")
+		snapshot = flag.Duration("snapshot", time.Minute, "periodic store snapshot interval (0 disables the timer; requires -store)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-request measurement deadline (0 disables)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain bound on shutdown before in-flight simulations are aborted (0 waits indefinitely)")
+		reps     = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
+		workers  = flag.Int("workers", 0, "simulation worker budget shared by concurrent requests, sweeps and block sharding (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gpuchard: ", log.LstdFlags)
+
+	runner := core.NewRunner()
+	runner.Repetitions = *reps
+	runner.Workers = *workers
+
+	srv, err := serve.New(serve.Config{
+		Runner:         runner,
+		Programs:       suites.All(),
+		StorePath:      *store,
+		SnapshotEvery:  *snapshot,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Log:            logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// SIGINT/SIGTERM start the graceful drain; Serve snapshots the store on
+	// every exit path before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Printf("listening on %s (%d programs, store %q)", ln.Addr(), len(suites.All()), *store)
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuchard:", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

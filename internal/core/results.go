@@ -1,0 +1,81 @@
+package core
+
+import "sort"
+
+// ResultEntry is one resolved cache entry as listed by Results: either a
+// completed measurement or an insufficient-samples exclusion (the paper's
+// "program excluded at this configuration"). Entries that failed hard or are
+// still being computed are not listed.
+type ResultEntry struct {
+	Program string `json:"program"`
+	Input   string `json:"input"`
+	Config  string `json:"config"`
+	Board   string `json:"board"`
+	// Insufficient marks an exclusion; Result is nil for those.
+	Insufficient bool    `json:"insufficient,omitempty"`
+	Result       *Result `json:"result,omitempty"`
+}
+
+// Results lists the runner's resolved cache entries in deterministic
+// (program, input, board, config) order — the same order SaveStore persists.
+// It is safe to call concurrently with Measure/MeasureAll; in-flight entries
+// are skipped, exactly as SaveStore skips them.
+func (r *Runner) Results() []ResultEntry {
+	r.mu.Lock()
+	entries := make(map[string]*cacheEntry, len(r.cache))
+	for k, e := range r.cache {
+		entries[k] = e
+	}
+	r.mu.Unlock()
+
+	out := make([]ResultEntry, 0, len(entries))
+	for key, e := range entries {
+		if !e.resolved.Load() {
+			continue
+		}
+		prog, input, config, board, ok := splitKey(key)
+		if !ok {
+			continue
+		}
+		re := ResultEntry{Program: prog, Input: input, Config: config, Board: board}
+		switch {
+		case e.res != nil:
+			re.Result = e.res
+		case e.err != nil && isInsufficient(e.err):
+			re.Insufficient = true
+		default:
+			continue // hard failure: not a result
+		}
+		out = append(out, re)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Program != b.Program {
+			return a.Program < b.Program
+		}
+		if a.Input != b.Input {
+			return a.Input < b.Input
+		}
+		if a.Board != b.Board {
+			return a.Board < b.Board
+		}
+		return a.Config < b.Config
+	})
+	return out
+}
+
+// CacheCounts reports how many cache entries are resolved (measurements and
+// exclusions available without simulating) and how many are still being
+// computed. For health and capacity introspection; values are a snapshot.
+func (r *Runner) CacheCounts() (resolved, pending int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.cache {
+		if e.resolved.Load() {
+			resolved++
+		} else {
+			pending++
+		}
+	}
+	return resolved, pending
+}

@@ -108,6 +108,13 @@ func (r *Runner) workerPool() *sim.WorkerPool {
 	return r.pool
 }
 
+// WorkerPool returns the runner's shared simulation worker pool, creating
+// it on first use. Services that admit external measurement traffic acquire
+// one slot per in-flight measurement — exactly like MeasureAll jobs — so
+// HTTP requests, sweeps and per-launch block sharding all draw from the same
+// bounded budget and never oversubscribe the machine.
+func (r *Runner) WorkerPool() *sim.WorkerPool { return r.workerPool() }
+
 type cacheEntry struct {
 	once sync.Once
 	res  *Result

@@ -68,15 +68,21 @@ func (m Measurement) String() string {
 }
 
 // Analyze processes a sample log.
+//
+// Zero-valued Tau, ThresholdFrac and MinSamples fall back to the calibrated
+// DefaultOptions values, so a partially-filled Options never silently
+// diverges from the documented defaults. TailGuardW and MinSamples1Hz keep
+// their zero values: zero disables the tail guard and the stricter 1 Hz bar.
 func Analyze(samples []sensor.Sample, opt Options) (Measurement, error) {
+	def := DefaultOptions()
 	if opt.Tau <= 0 {
-		opt.Tau = 0.7
+		opt.Tau = def.Tau
 	}
 	if opt.ThresholdFrac <= 0 {
-		opt.ThresholdFrac = 0.40
+		opt.ThresholdFrac = def.ThresholdFrac
 	}
 	if opt.MinSamples <= 0 {
-		opt.MinSamples = 12
+		opt.MinSamples = def.MinSamples
 	}
 	if len(samples) < 3 {
 		return Measurement{}, ErrInsufficientSamples
@@ -89,10 +95,11 @@ func Analyze(samples []sensor.Sample, opt Options) (Measurement, error) {
 	// plain low percentile would land on the plateau. Use a near-minimum of
 	// the RAW samples (compensation overshoots on falling edges; the second
 	// smallest value guards against a single noise dip).
-	idle := percentile(samples, 0.0)
+	idleRank := 0
 	if len(samples) > 4 {
-		idle = nthSmallest(samples, 1)
+		idleRank = 1
 	}
+	idle := nthSmallest(samples, idleRank)
 	peak := percentile(comp, 0.999)
 	threshold := idle + opt.ThresholdFrac*(peak-idle)
 	if min := idle + opt.TailGuardW; threshold < min {
@@ -116,8 +123,11 @@ func Analyze(samples []sensor.Sample, opt Options) (Measurement, error) {
 	need := opt.MinSamples
 	if opt.MinSamples1Hz > need && last > first {
 		// Median sampling interval above half a second means the sensor
-		// stayed at the idle 1 Hz rate throughout.
-		if (comp[last].T-comp[first].T)/float64(last-first) > 0.5 {
+		// stayed at the idle 1 Hz rate throughout. The median — not the
+		// mean — is load-bearing here: a single long sensor dropout inside
+		// an otherwise 10 Hz run must not reclassify the whole run as
+		// 1 Hz-sampled and exclude it.
+		if medianInterval(comp[first:last+1]) > 0.5 {
 			need = opt.MinSamples1Hz
 		}
 	}
@@ -148,6 +158,11 @@ func Analyze(samples []sensor.Sample, opt Options) (Measurement, error) {
 
 // Compensate undoes the sensor's first-order running average: for a
 // low-pass y' = (x - y)/tau, the input is x = y + tau * dy/dt.
+//
+// Samples with a non-positive time step (a duplicated or non-monotonic
+// timestamp, as real sensor logs occasionally contain) carry no derivative
+// information, so they are left at their raw reported value rather than
+// dividing by a zero or negative dt.
 func Compensate(samples []sensor.Sample, tau float64) []sensor.Sample {
 	out := make([]sensor.Sample, len(samples))
 	copy(out, samples)
@@ -189,8 +204,30 @@ func nthSmallest(samples []sensor.Sample, n int) float64 {
 	return ws[n]
 }
 
-// percentile returns the p-quantile (0..1) of the sample powers.
+// medianInterval returns the median inter-sample time gap, or 0 for fewer
+// than two samples.
+func medianInterval(samples []sensor.Sample) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	gaps := make([]float64, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		gaps[i-1] = samples[i].T - samples[i-1].T
+	}
+	sort.Float64s(gaps)
+	n := len(gaps)
+	if n%2 == 1 {
+		return gaps[n/2]
+	}
+	return (gaps[n/2-1] + gaps[n/2]) / 2
+}
+
+// percentile returns the p-quantile (0..1) of the sample powers, or 0 for an
+// empty log.
 func percentile(samples []sensor.Sample, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
 	ws := make([]float64, len(samples))
 	for i, s := range samples {
 		ws[i] = s.W

@@ -209,3 +209,112 @@ func TestPropertyAnalyzeScalesLinearly(t *testing.T) {
 		t.Errorf("time ratio %f, want ~1", r)
 	}
 }
+
+func TestSingleSensorGapDoesNotReclassifyAs1Hz(t *testing.T) {
+	// Regression for the mean-vs-median 1 Hz classification bug: a 12 s
+	// 10 Hz run with one long mid-run sensor dropout. The MEAN inter-sample
+	// interval of the active region exceeds 0.5 s (span ~12 s over ~20
+	// samples), which the old code treated as "sampled at 1 Hz throughout"
+	// and excluded (~20 < MinSamples1Hz). The MEDIAN interval is still the
+	// 10 Hz 0.1 s, so the run must remain measurable.
+	samples := cleanSensor(plateau(110, 12), 7)
+	kept := samples[:0:0]
+	for _, s := range samples {
+		if s.T > 4.55 && s.T < 13.95 {
+			continue // sensor dropout
+		}
+		kept = append(kept, s)
+	}
+	m, err := Analyze(kept, DefaultOptions())
+	if err != nil {
+		t.Fatalf("single-gap 10 Hz run excluded: %v", err)
+	}
+	// Confirm the log actually exercises the regression: fewer active
+	// samples than the 1 Hz bar, spread over a span whose mean interval is
+	// above the 0.5 s classification cut.
+	def := DefaultOptions()
+	if m.ActiveSamples >= def.MinSamples1Hz {
+		t.Fatalf("scenario too dense: %d active samples >= MinSamples1Hz %d", m.ActiveSamples, def.MinSamples1Hz)
+	}
+	if mean := m.ActiveTime / float64(m.ActiveSamples-1); mean <= 0.5 {
+		t.Fatalf("scenario too short: mean interval %.3f s <= 0.5 s would not have triggered the old bug", mean)
+	}
+	if math.Abs(m.ActiveTime-12)/12 > 0.15 {
+		t.Errorf("active time %.2f s, want ~12", m.ActiveTime)
+	}
+}
+
+func TestAll1HzRunStillClassifiedAs1Hz(t *testing.T) {
+	// The median fix must not weaken the genuine 1 Hz exclusion: a short
+	// low-power plateau sampled at 1 Hz throughout stays excluded.
+	samples := cleanSensor(plateau(38, 20), 3)
+	if _, err := Analyze(samples, DefaultOptions()); err == nil {
+		t.Fatal("20 s 1 Hz run accepted; the stricter MinSamples1Hz bar must still apply")
+	}
+}
+
+func TestZeroOptionsMatchCalibratedDefaults(t *testing.T) {
+	// A zero-valued Options must fall back to the calibrated defaults:
+	// with a log where neither TailGuardW nor MinSamples1Hz binds (strong
+	// 10 Hz plateau), Analyze(Options{}) must equal
+	// Analyze(DefaultOptions()) exactly. Before the fix the ThresholdFrac
+	// fallback was 0.40 while DefaultOptions documents 0.25.
+	samples := cleanSensor(plateau(110, 20), 9)
+	a, errA := Analyze(samples, Options{})
+	b, errB := Analyze(samples, DefaultOptions())
+	if errA != nil || errB != nil {
+		t.Fatalf("errors: zero=%v default=%v", errA, errB)
+	}
+	if a != b {
+		t.Errorf("Analyze(Options{}) = %+v,\nwant DefaultOptions result %+v", a, b)
+	}
+}
+
+func TestCompensateNonMonotonicTimestampsStayRaw(t *testing.T) {
+	// Samples with dt <= 0 (duplicated or backwards timestamps) carry no
+	// derivative information; Compensate pins them at their raw value.
+	samples := []sensor.Sample{
+		{T: 0, W: 25}, {T: 1, W: 60}, {T: 1, W: 90}, {T: 0.5, W: 95}, {T: 2, W: 100},
+	}
+	comp := Compensate(samples, 0.7)
+	if comp[2].W != samples[2].W {
+		t.Errorf("duplicate-timestamp sample compensated: %.1f, want raw %.1f", comp[2].W, samples[2].W)
+	}
+	if comp[3].W != samples[3].W {
+		t.Errorf("backwards-timestamp sample compensated: %.1f, want raw %.1f", comp[3].W, samples[3].W)
+	}
+	// Surrounding monotonic samples are still lag-compensated (rising
+	// edges overshoot the raw reading) and finite.
+	if comp[1].W <= samples[1].W {
+		t.Errorf("rising edge not sharpened: %.1f <= raw %.1f", comp[1].W, samples[1].W)
+	}
+	for i, s := range comp {
+		if math.IsNaN(s.W) || math.IsInf(s.W, 0) {
+			t.Errorf("comp[%d].W = %v", i, s.W)
+		}
+	}
+}
+
+func TestMedianInterval(t *testing.T) {
+	s := []sensor.Sample{{T: 0}, {T: 0.1}, {T: 0.2}, {T: 6.2}, {T: 6.3}}
+	// gaps .1 .1 6 .1 -> median (even count) = 0.1
+	if got := medianInterval(s); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("medianInterval = %v, want 0.1", got)
+	}
+	// odd gap count: .1 .1 6 -> 0.1
+	if got := medianInterval(s[:4]); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("medianInterval(odd) = %v, want 0.1", got)
+	}
+	if medianInterval(s[:1]) != 0 || medianInterval(nil) != 0 {
+		t.Error("medianInterval of <2 samples should be 0")
+	}
+}
+
+func TestPercentileEmptyLog(t *testing.T) {
+	if got := percentile(nil, 0.999); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+	if got := percentile([]sensor.Sample{}, 0); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}

@@ -120,6 +120,10 @@ func bucketFor(ns int64) int {
 	return b
 }
 
+// Since observes the wall-clock time elapsed since t0. It is the idiomatic
+// request-latency recording pattern: t0 := time.Now(); defer h.Since(t0).
+func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0)) }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// jobStatus is a sweep job's lifecycle state.
+type jobStatus string
+
+const (
+	// jobQueued means the job is waiting for the single sweep executor.
+	jobQueued jobStatus = "queued"
+	// jobRunning means the job's MeasureAll is in flight.
+	jobRunning jobStatus = "running"
+	// jobDone means the sweep completed (exclusions included; they are
+	// results, not failures).
+	jobDone jobStatus = "done"
+	// jobCanceled means the sweep was aborted by server shutdown.
+	jobCanceled jobStatus = "canceled"
+	// jobFailed means the sweep reported a hard failure.
+	jobFailed jobStatus = "failed"
+)
+
+// jobView is the GET /v1/jobs/{id} body.
+type jobView struct {
+	ID     string    `json:"id"`
+	Status jobStatus `json:"status"`
+	// Combinations is the job's total (program, input, config) count;
+	// Done and Canceled advance toward it while the job runs.
+	Combinations int64  `json:"combinations"`
+	Done         int64  `json:"done"`
+	Canceled     int64  `json:"canceled,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// job is one asynchronous sweep. Progress is derived from the runner's
+// sweep counters in the observability registry: the registry's
+// sweep_jobs_done/canceled counters are cumulative across the process, so
+// the job records their values when it starts running and reports the
+// delta. Jobs execute strictly one at a time, which is what makes the
+// delta attribution exact.
+type job struct {
+	id string
+
+	mu        sync.Mutex
+	status    jobStatus
+	combos    int64
+	err       string
+	startDone int64
+	startCanc int64
+	finalDone int64
+	finalCanc int64
+	done      chan struct{} // closed when the job reaches a terminal state
+	sweepDone *obs.Counter
+	sweepCanc *obs.Counter
+}
+
+// view snapshots the job for JSON.
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{ID: j.id, Status: j.status, Combinations: j.combos, Error: j.err}
+	switch j.status {
+	case jobQueued:
+		// No progress yet.
+	case jobRunning:
+		v.Done = j.sweepDone.Value() - j.startDone
+		v.Canceled = j.sweepCanc.Value() - j.startCanc
+	default:
+		v.Done = j.finalDone
+		v.Canceled = j.finalCanc
+	}
+	return v
+}
+
+// jobRegistry tracks sweep jobs and serializes their execution.
+type jobRegistry struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	next int
+
+	// execMu is the single sweep executor: one MeasureAll at a time.
+	execMu sync.Mutex
+
+	sweepDone *obs.Counter
+	sweepCanc *obs.Counter
+	started   *obs.Counter
+	finished  *obs.Counter
+}
+
+// newJobRegistry builds the registry against the runner's registry (the
+// sweep counters must be the same handles MeasureAll increments).
+func newJobRegistry(reg *obs.Registry) *jobRegistry {
+	return &jobRegistry{
+		jobs:      make(map[string]*job),
+		sweepDone: reg.Counter("sweep_jobs_done"),
+		sweepCanc: reg.Counter("sweep_jobs_canceled"),
+		started:   reg.Counter("sweep_api_jobs_started_total"),
+		finished:  reg.Counter("sweep_api_jobs_finished_total"),
+	}
+}
+
+// start registers a job and launches its executor goroutine. run is the
+// job's MeasureAll closure; ctx is the server's base context, so client
+// disconnects never abort a sweep — only shutdown does.
+func (r *jobRegistry) start(ctx context.Context, combos int, run func(context.Context) error) *job {
+	r.mu.Lock()
+	r.next++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", r.next),
+		status:    jobQueued,
+		combos:    int64(combos),
+		done:      make(chan struct{}),
+		sweepDone: r.sweepDone,
+		sweepCanc: r.sweepCanc,
+	}
+	r.jobs[j.id] = j
+	r.mu.Unlock()
+	r.started.Inc()
+
+	go func() {
+		r.execMu.Lock()
+		defer r.execMu.Unlock()
+		// A shutdown while queued cancels without running anything.
+		if ctx.Err() != nil {
+			j.finish(jobCanceled, ctx.Err(), 0, 0)
+			r.finished.Inc()
+			return
+		}
+		j.mu.Lock()
+		j.status = jobRunning
+		j.startDone = r.sweepDone.Value()
+		j.startCanc = r.sweepCanc.Value()
+		startDone, startCanc := j.startDone, j.startCanc
+		j.mu.Unlock()
+
+		err := run(ctx)
+		doneDelta := r.sweepDone.Value() - startDone
+		cancDelta := r.sweepCanc.Value() - startCanc
+		switch {
+		case err == nil:
+			j.finish(jobDone, nil, doneDelta, cancDelta)
+		case ctx.Err() != nil:
+			j.finish(jobCanceled, err, doneDelta, cancDelta)
+		default:
+			j.finish(jobFailed, err, doneDelta, cancDelta)
+		}
+		r.finished.Inc()
+	}()
+	return j
+}
+
+// finish moves the job to a terminal state, freezing its progress.
+func (j *job) finish(status jobStatus, err error, done, canceled int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = status
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.finalDone = done
+	j.finalCanc = canceled
+	close(j.done)
+}
+
+// get looks a job up by id.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// wait blocks until the job reaches a terminal state (tests).
+func (j *job) wait() { <-j.done }

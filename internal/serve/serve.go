@@ -1,0 +1,588 @@
+// Package serve is the gpuchard measurement service: an HTTP JSON API
+// wrapping a shared core.Runner so that many clients can request
+// measurements, run asynchronous sweeps and read results from one
+// long-running process instead of a one-shot CLI.
+//
+// The service inherits the Runner's guarantees wholesale:
+//
+//   - Coalescing. Concurrent identical measure requests share one
+//     computation through the Runner's singleflight cache entries — N
+//     clients asking for the same (program, input, config) cost exactly one
+//     simulation and receive byte-identical responses.
+//   - Bounded concurrency. Every in-flight measurement holds one slot of
+//     the Runner's shared sim.WorkerPool (like MeasureAll jobs do), so HTTP
+//     traffic, sweeps and per-launch block sharding never oversubscribe the
+//     machine.
+//   - Durability. The store is loaded at startup (warm cache), snapshotted
+//     atomically (tmp + rename) on a timer and on every shutdown path, and
+//     canceled measurements are evicted rather than cached, so a killed
+//     server never corrupts the store.
+//   - Graceful drain. On shutdown the listener closes first, in-flight
+//     requests get DrainTimeout to finish, then the base context is
+//     canceled so the remaining simulations abort at the next thread-block
+//     boundary and the handlers return the context error.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/k20power"
+	"repro/internal/kepler"
+	"repro/internal/obs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runner executes and caches the measurements. Required.
+	Runner *core.Runner
+	// Programs is the served program set, addressed by Program.Name().
+	// Required (typically suites.All()).
+	Programs []core.Program
+	// Configs is the served clock-configuration set. Defaults to
+	// kepler.Configs.
+	Configs []kepler.Clocks
+	// StorePath persists the measurement cache: loaded by New for a warm
+	// start, snapshotted every SnapshotEvery and on every shutdown path.
+	// Empty disables persistence.
+	StorePath string
+	// SnapshotEvery is the periodic snapshot interval. 0 disables the
+	// timer (the shutdown snapshot still happens).
+	SnapshotEvery time.Duration
+	// RequestTimeout bounds each measure request's measurement context.
+	// 0 means no per-request deadline.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown: after it, the
+	// base context is canceled and in-flight simulations abort. 0 waits
+	// for in-flight requests indefinitely.
+	DrainTimeout time.Duration
+	// Log receives operational messages. Defaults to log.Default().
+	Log *log.Logger
+}
+
+// Server is the HTTP measurement service.
+type Server struct {
+	cfg      Config
+	runner   *core.Runner
+	programs map[string]core.Program
+	configs  map[string]kepler.Clocks
+	jobs     *jobRegistry
+	handler  http.Handler
+
+	// baseCtx parents every request's measurement context; cancelBase
+	// aborts all in-flight simulations (the hard-stop half of the drain).
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	// saveMu serializes store snapshots (each is atomic on its own; the
+	// mutex just prevents pointless concurrent rewrites).
+	saveMu sync.Mutex
+
+	m serviceMetrics
+}
+
+// serviceMetrics are the service-level handles in the runner's registry,
+// alongside the pipeline metrics the Runner already records.
+type serviceMetrics struct {
+	inflight      *obs.Gauge
+	responses2xx  *obs.Counter
+	responses4xx  *obs.Counter
+	responses5xx  *obs.Counter
+	snapshots     *obs.Counter
+	snapshotFails *obs.Counter
+
+	requests map[string]*obs.Counter   // per route
+	latency  map[string]*obs.Histogram // per route
+}
+
+// routes lists the instrumented endpoint names.
+var routes = []string{"measure", "sweep", "jobs", "results", "metrics", "healthz"}
+
+// New builds the service and, when cfg.StorePath names an existing store,
+// warm-starts the runner cache from it. A missing store file is a cold
+// start, not an error; an incompatible one (version mismatch) is reported
+// and ignored, matching gpuchar.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("serve: Config.Runner is required")
+	}
+	if len(cfg.Programs) == 0 {
+		return nil, errors.New("serve: Config.Programs is required")
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	if len(cfg.Configs) == 0 {
+		cfg.Configs = kepler.Configs
+	}
+	s := &Server{
+		cfg:      cfg,
+		runner:   cfg.Runner,
+		programs: make(map[string]core.Program, len(cfg.Programs)),
+		configs:  make(map[string]kepler.Clocks, len(cfg.Configs)),
+	}
+	for _, p := range cfg.Programs {
+		if _, dup := s.programs[p.Name()]; dup {
+			return nil, fmt.Errorf("serve: duplicate program name %q", p.Name())
+		}
+		s.programs[p.Name()] = p
+	}
+	for _, c := range cfg.Configs {
+		s.configs[c.Name] = c
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+
+	reg := s.runner.Metrics()
+	s.m = serviceMetrics{
+		inflight:      reg.Gauge("http_inflight_requests"),
+		responses2xx:  reg.Counter("http_responses_2xx_total"),
+		responses4xx:  reg.Counter("http_responses_4xx_total"),
+		responses5xx:  reg.Counter("http_responses_5xx_total"),
+		snapshots:     reg.Counter("store_snapshots_total"),
+		snapshotFails: reg.Counter("store_snapshot_errors_total"),
+		requests:      make(map[string]*obs.Counter, len(routes)),
+		latency:       make(map[string]*obs.Histogram, len(routes)),
+	}
+	for _, rt := range routes {
+		s.m.requests[rt] = reg.Counter("http_" + rt + "_requests_total")
+		s.m.latency[rt] = reg.Histogram("http_" + rt + "_seconds")
+	}
+	s.jobs = newJobRegistry(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/measure", s.instrument("measure", s.handleMeasure))
+	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	mux.Handle("GET /v1/results", s.instrument("results", s.handleResults))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.handler = mux
+
+	if cfg.StorePath != "" {
+		switch err := s.runner.LoadStore(cfg.StorePath); {
+		case err == nil:
+			resolved, _ := s.runner.CacheCounts()
+			cfg.Log.Printf("serve: warm start: %d cached measurements from %s", resolved, cfg.StorePath)
+		case errors.Is(err, fs.ErrNotExist):
+			cfg.Log.Printf("serve: cold start: no store at %s", cfg.StorePath)
+		default:
+			cfg.Log.Printf("serve: ignoring store %s: %v", cfg.StorePath, err)
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// instrument wraps a handler with the per-route request counter, latency
+// histogram, in-flight gauge and response-class counters.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	reqs, lat := s.m.requests[route], s.m.latency[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		reqs.Inc()
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		defer lat.Since(t0)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		switch {
+		case sw.status >= 500:
+			s.m.responses5xx.Inc()
+		case sw.status >= 400:
+			s.m.responses4xx.Inc()
+		default:
+			s.m.responses2xx.Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Serve runs the service on ln until ctx is canceled, then drains: the
+// listener closes, in-flight requests get DrainTimeout to finish, remaining
+// simulations are aborted via the base context, and the store is snapshotted
+// one final time. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+		ErrorLog:    s.cfg.Log,
+	}
+
+	stopSnapshots := make(chan struct{})
+	var snapWG sync.WaitGroup
+	if s.cfg.StorePath != "" && s.cfg.SnapshotEvery > 0 {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			s.snapshotLoop(stopSnapshots)
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	var err error
+	select {
+	case err = <-serveErr:
+		// Listener failure: not a drain, but still snapshot below.
+	case <-ctx.Done():
+		drainCtx := context.Background()
+		if s.cfg.DrainTimeout > 0 {
+			var cancel context.CancelFunc
+			drainCtx, cancel = context.WithTimeout(drainCtx, s.cfg.DrainTimeout)
+			defer cancel()
+		}
+		// When the drain deadline passes, cancel the base context so
+		// in-flight simulations abort at the next thread-block boundary
+		// and their handlers return promptly with the context error.
+		stopAbort := context.AfterFunc(drainCtx, s.cancelBase)
+		err = httpSrv.Shutdown(drainCtx)
+		stopAbort()
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = nil // a forced drain is still an orderly shutdown
+		}
+	}
+
+	// Hard-stop anything still running, stop the snapshot timer, and take
+	// the final snapshot. Store writes are atomic (tmp + rename), so even a
+	// snapshot racing a late handler can only publish a consistent store.
+	s.cancelBase()
+	close(stopSnapshots)
+	snapWG.Wait()
+	if s.cfg.StorePath != "" {
+		if serr := s.saveStore(); serr != nil {
+			s.cfg.Log.Printf("serve: final store snapshot: %v", serr)
+			if err == nil {
+				err = serr
+			}
+		}
+	}
+	return err
+}
+
+// snapshotLoop persists the store every SnapshotEvery until stop closes.
+func (s *Server) snapshotLoop(stop <-chan struct{}) {
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.saveStore(); err != nil {
+				s.cfg.Log.Printf("serve: store snapshot: %v", err)
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// saveStore writes one atomic store snapshot.
+func (s *Server) saveStore() error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	err := s.runner.SaveStore(s.cfg.StorePath)
+	if err != nil {
+		s.m.snapshotFails.Inc()
+		return err
+	}
+	s.m.snapshots.Inc()
+	return nil
+}
+
+// measureRequest is the POST /v1/measure body.
+type measureRequest struct {
+	Program string `json:"program"`
+	// Input defaults to the program's default input when empty.
+	Input string `json:"input,omitempty"`
+	// Config defaults to "default" when empty.
+	Config string `json:"config,omitempty"`
+}
+
+// measureResponse is the POST /v1/measure success body. Reps marshal with
+// k20power.Measurement's field names, matching the store's serialization.
+type measureResponse struct {
+	Program string `json:"program"`
+	Input   string `json:"input"`
+	Config  string `json:"config"`
+	Board   string `json:"board"`
+
+	ActiveTime float64 `json:"activeTime"`
+	Energy     float64 `json:"energy"`
+	AvgPower   float64 `json:"avgPower"`
+
+	TrueActiveTime float64 `json:"trueActiveTime"`
+	TrueEnergy     float64 `json:"trueEnergy"`
+
+	Reps []k20power.Measurement `json:"reps"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Insufficient marks the paper's exclusion criterion (422): the run
+	// completed but yielded too few power samples to analyze.
+	Insufficient bool `json:"insufficient,omitempty"`
+}
+
+// handleMeasure measures one (program, input, config) combination. Repeated
+// and concurrent identical requests are served from the runner cache: the
+// first request simulates, everyone else coalesces onto that computation.
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req measureRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, clk, input, err := s.resolve(req.Program, req.Input, req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// One worker-pool slot per in-flight measurement, exactly like a
+	// MeasureAll job: the service never runs more simulations than the
+	// runner's worker budget. Cache hits pass through quickly because
+	// resolved entries return without simulating.
+	pool := s.runner.WorkerPool()
+	if err := pool.Acquire(ctx); err != nil {
+		writeMeasureError(w, err)
+		return
+	}
+	defer pool.Release(1)
+
+	res, err := s.runner.Measure(ctx, p, input, clk)
+	if err != nil {
+		writeMeasureError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, measureResponse{
+		Program:        res.Program,
+		Input:          res.Input,
+		Config:         res.Config,
+		Board:          clk.Model().Name,
+		ActiveTime:     res.ActiveTime,
+		Energy:         res.Energy,
+		AvgPower:       res.AvgPower,
+		TrueActiveTime: res.TrueActiveTime,
+		TrueEnergy:     res.TrueEnergy,
+		Reps:           res.Reps,
+	})
+}
+
+// writeMeasureError maps a measurement failure to its status code:
+// insufficient samples (the paper's exclusion) → 422, request deadline →
+// 504, cancellation (client gone or server draining) → 503, anything else
+// (a genuine pipeline failure) → 500.
+func writeMeasureError(w http.ResponseWriter, err error) {
+	switch {
+	case core.IsInsufficient(err):
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Insufficient: true})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	// Programs restricts the sweep; empty means every served program.
+	Programs []string `json:"programs,omitempty"`
+	// Configs restricts the configurations; empty means all of them.
+	Configs []string `json:"configs,omitempty"`
+	// AllInputs sweeps every input of each program, not just the default.
+	AllInputs bool `json:"allInputs,omitempty"`
+}
+
+// handleSweep starts an asynchronous MeasureAll job and returns its id.
+// Jobs execute one at a time (sweeps are heavyweight; queueing keeps the
+// per-job progress counters exact) on the server's base context, so a
+// client disconnect does not abort a running sweep — only shutdown does.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	programs := make([]core.Program, 0, len(req.Programs))
+	if len(req.Programs) == 0 {
+		programs = append(programs, s.cfg.Programs...)
+	} else {
+		for _, name := range req.Programs {
+			p, ok := s.programs[name]
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown program %q", name))
+				return
+			}
+			programs = append(programs, p)
+		}
+	}
+	configs := make([]kepler.Clocks, 0, len(req.Configs))
+	if len(req.Configs) == 0 {
+		configs = append(configs, s.cfg.Configs...)
+	} else {
+		for _, name := range req.Configs {
+			c, ok := s.configs[name]
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown config %q", name))
+				return
+			}
+			configs = append(configs, c)
+		}
+	}
+	combos := 0
+	for _, p := range programs {
+		inputs := 1
+		if req.AllInputs {
+			inputs = len(p.Inputs())
+		}
+		combos += inputs * len(configs)
+	}
+	j := s.jobs.start(s.baseCtx, combos, func(ctx context.Context) error {
+		return s.runner.MeasureAll(ctx, programs, configs, req.AllInputs)
+	})
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleJob reports a sweep job's status and progress.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// resultsResponse is the GET /v1/results body: the same content a store
+// snapshot would persist, straight from the cache.
+type resultsResponse struct {
+	Version int                `json:"version"`
+	Count   int                `json:"count"`
+	Results []core.ResultEntry `json:"results"`
+}
+
+// handleResults dumps every resolved measurement (and exclusion) the
+// runner's cache currently holds.
+func (s *Server) handleResults(w http.ResponseWriter, _ *http.Request) {
+	results := s.runner.Results()
+	writeJSON(w, http.StatusOK, resultsResponse{
+		Version: core.StoreVersion,
+		Count:   len(results),
+		Results: results,
+	})
+}
+
+// handleMetrics dumps the observability registry snapshot: pipeline stage
+// timings, cache and singleflight counters, pool utilization, sweep
+// progress and the HTTP metrics above.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.runner.Metrics().WriteJSON(w); err != nil {
+		s.cfg.Log.Printf("serve: writing metrics: %v", err)
+	}
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Resolved int    `json:"resolvedEntries"`
+	Pending  int    `json:"pendingEntries"`
+}
+
+// handleHealthz reports liveness plus cache occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resolved, pending := s.runner.CacheCounts()
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Resolved: resolved, Pending: pending})
+}
+
+// resolve validates and resolves the request's names against the served
+// program and configuration sets.
+func (s *Server) resolve(program, input, config string) (core.Program, kepler.Clocks, string, error) {
+	p, ok := s.programs[program]
+	if !ok {
+		return nil, kepler.Clocks{}, "", fmt.Errorf("unknown program %q", program)
+	}
+	if config == "" {
+		config = "default"
+	}
+	clk, ok := s.configs[config]
+	if !ok {
+		return nil, kepler.Clocks{}, "", fmt.Errorf("unknown config %q", config)
+	}
+	if input == "" {
+		input = p.DefaultInput()
+	} else {
+		found := false
+		for _, in := range p.Inputs() {
+			if in == input {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, kepler.Clocks{}, "", fmt.Errorf("%s: unknown input %q (have %v)", program, input, p.Inputs())
+		}
+	}
+	return p, clk, input, nil
+}
+
+// maxBodyBytes bounds request bodies; the API's requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON strictly parses the request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON writes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
