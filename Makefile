@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden smoke serve-smoke ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke serve-smoke bench lint-launch ci
 
 all: ci
 
@@ -53,4 +53,15 @@ serve-smoke:
 	$(GO) build -o /tmp/gpuchard-smoke ./cmd/gpuchard
 	./scripts/serve_smoke.sh /tmp/gpuchard-smoke /tmp/gpuchard-smoke-store.json
 
-ci: vet build race test fuzz
+# Sweep benchmarks bracketing the replay engine (replay on vs NoReplay
+# baseline, plus raw engine throughput and the isolated replay path);
+# writes benchstat-compatible BENCH_sweep.json. Minutes-long on one core.
+bench:
+	./scripts/bench.sh
+
+# Capture-layer lint: no timeline append or kernelTime call outside the
+# replay engine's audited sites (grep gate; see scripts/lint_launch.sh).
+lint-launch:
+	./scripts/lint_launch.sh
+
+ci: vet lint-launch build race test fuzz

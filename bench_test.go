@@ -233,6 +233,56 @@ func BenchmarkColdSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkColdSweepNoReplay is the cold sweep with the launch-trace replay
+// cache disabled: every configuration pays for a full warp-level simulation,
+// the pre-replay engine's behaviour. The replay speedup is the ratio of
+// BenchmarkColdSweepNoReplay to BenchmarkColdSweep.
+func BenchmarkColdSweepNoReplay(b *testing.B) {
+	progs := suites.All()
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner()
+		r.NoReplay = true
+		if err := r.MeasureAll(context.Background(), progs, kepler.Configs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplaySweep isolates the replay path itself: every clock-
+// insensitive program's launch trace is captured once outside the timed
+// region, then each iteration re-prices all those traces at the three
+// non-default configurations — the marginal cost of "another config" once a
+// trace exists.
+func BenchmarkReplaySweep(b *testing.B) {
+	var traces []*sim.LaunchTrace
+	for _, p := range suites.All() {
+		dev := sim.NewDevice(kepler.Default)
+		dev.BeginCapture()
+		if err := core.RunProgram(context.Background(), p, dev, p.DefaultInput()); err != nil {
+			b.Fatal(err)
+		}
+		tr := dev.EndCapture()
+		if !tr.ClockSensitive() {
+			traces = append(traces, tr)
+		}
+	}
+	if len(traces) == 0 {
+		b.Fatal("no clock-insensitive traces captured")
+	}
+	others := []kepler.Clocks{kepler.F614, kepler.F324, kepler.ECCDefault}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range traces {
+			for _, clk := range others {
+				if _, err := tr.Replay(clk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(len(traces)*len(others)), "replays/op")
+}
+
 // BenchmarkColdSweepSerial is the same sweep restricted to one worker — the
 // pre-parallel engine's behaviour — so the speedup of the worker pool is the
 // ratio of the two benchmarks.

@@ -49,6 +49,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain bound on shutdown before in-flight simulations are aborted (0 waits indefinitely)")
 		reps     = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
 		workers  = flag.Int("workers", 0, "simulation worker budget shared by concurrent requests, sweeps and block sharding (0 = GOMAXPROCS)")
+		noreplay = flag.Bool("noreplay", false, "disable the cross-config launch-trace replay cache: simulate every configuration from scratch (never affects measured values)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 	runner := core.NewRunner()
 	runner.Repetitions = *reps
 	runner.Workers = *workers
+	runner.NoReplay = *noreplay
 
 	srv, err := serve.New(serve.Config{
 		Runner:         runner,

@@ -16,7 +16,11 @@
 //     program up nor saves energy, and its runtime penalty on compute-bound
 //     codes stays small;
 //   - determinism: a fresh Runner reproduces bit-identical Result structs
-//     for the same (program, input, configuration, seed).
+//     for the same (program, input, configuration, seed);
+//   - replay-identity: the launch-trace replay engine (capture in
+//     internal/sim plus the core trace cache) produces Results
+//     bit-identical to a runner that simulates every configuration from
+//     scratch (NoReplay), across every program and configuration.
 //
 // The engine is a library (used by `gpuchar -selfcheck` and CI) and the
 // substrate of the golden-corpus tests in this package: any physics drift
@@ -69,6 +73,11 @@ type Options struct {
 	// DeterminismConfigs are re-measured on a fresh Runner and compared
 	// bitwise (nil disables the determinism invariant).
 	DeterminismConfigs []kepler.Clocks
+	// ReplayConfigs are re-measured on a fresh replay-disabled Runner
+	// (core.Runner.NoReplay) and compared bitwise against the main sweep,
+	// proving launch-trace replay never changes a measured value (nil
+	// disables the replay-identity invariant).
+	ReplayConfigs []kepler.Clocks
 }
 
 // DefaultOptions returns the calibrated engine tolerances. Worst margins
@@ -87,13 +96,15 @@ func DefaultOptions() Options {
 		ComputeBoundMin:    0.6,
 		ECCComputeMax:      0.22,
 		DeterminismConfigs: []kepler.Clocks{kepler.Default},
+		ReplayConfigs:      kepler.Configs,
 	}
 }
 
 // Violation is one failed invariant on one measured combination.
 type Violation struct {
 	// Invariant is the invariant class: "energy-conservation",
-	// "dvfs-monotonicity", "ecc-directionality" or "determinism".
+	// "dvfs-monotonicity", "ecc-directionality", "determinism" or
+	// "replay-identity".
 	Invariant string
 	Program   string
 	Input     string
@@ -196,6 +207,13 @@ func Run(ctx context.Context, r *core.Runner, programs []core.Program, opt Optio
 
 	for _, clk := range opt.DeterminismConfigs {
 		vs, n, err := checkDeterminism(ctx, r, programs, clk)
+		if err != nil {
+			return nil, err
+		}
+		rep.add(vs, n)
+	}
+	if len(opt.ReplayConfigs) > 0 {
+		vs, n, err := checkReplayIdentity(ctx, r, programs, opt.ReplayConfigs)
 		if err != nil {
 			return nil, err
 		}
@@ -491,6 +509,53 @@ func checkDeterminism(ctx context.Context, r *core.Runner, programs []core.Progr
 		default:
 			if d := diffResults(a, b); d != "" {
 				bad(p, "fresh runner diverged: %s", d)
+			}
+		}
+	}
+	return vs, n, nil
+}
+
+// checkReplayIdentity re-measures every program at every given configuration
+// on a fresh replay-disabled Runner and compares the Results bitwise against
+// the main sweep's. The main runner serves most configurations from the
+// launch-trace cache (clock-insensitive programs simulate once and replay),
+// so any timing divergence between the replay path and a from-scratch
+// simulation — at any configuration, on any program — surfaces here.
+func checkReplayIdentity(ctx context.Context, r *core.Runner, programs []core.Program, configs []kepler.Clocks) ([]Violation, int, error) {
+	fresh := core.NewRunner()
+	fresh.Repetitions = r.Repetitions
+	fresh.RuntimeJitter = r.RuntimeJitter
+	fresh.Analysis = r.Analysis
+	fresh.KeepTraces = r.KeepTraces
+	fresh.NoReplay = true
+	if err := fresh.MeasureAll(ctx, programs, configs, false); err != nil {
+		return nil, 0, fmt.Errorf("check: replay-identity sweep failed: %w", err)
+	}
+	var vs []Violation
+	n := 0
+	for _, p := range programs {
+		for _, clk := range configs {
+			n++
+			a, errA := r.Measure(ctx, p, p.DefaultInput(), clk)
+			b, errB := fresh.Measure(ctx, p, p.DefaultInput(), clk)
+			bad := func(format string, args ...any) {
+				vs = append(vs, Violation{
+					Invariant: "replay-identity",
+					Program:   p.Name(), Input: p.DefaultInput(), Config: clk.Name,
+					Detail: fmt.Sprintf(format, args...),
+				})
+			}
+			switch {
+			case errA != nil && errB != nil:
+				if core.IsInsufficient(errA) != core.IsInsufficient(errB) {
+					bad("error class differs between replay and fresh: %v vs %v", errA, errB)
+				}
+			case (errA == nil) != (errB == nil):
+				bad("replay and fresh disagree on measurability: %v vs %v", errA, errB)
+			default:
+				if d := diffResults(a, b); d != "" {
+					bad("replayed result diverged from fresh simulation: %s", d)
+				}
 			}
 		}
 	}

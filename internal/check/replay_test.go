@@ -1,0 +1,97 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kepler"
+	"repro/internal/sim"
+	"repro/internal/suites"
+)
+
+// clockSensitivePrograms is the ground truth for the capture layer's
+// clock-sensitivity detector, derived from the ordered-launch audit of the
+// benchmark sources: exactly the programs issuing LaunchOrdered /
+// LaunchSharedOrdered (whose block permutation mixes the clocks via
+// launchSeed) are clock-sensitive. Everything else must replay.
+//
+// Audited sites: lonestar {L-BFS, DMR, MST, PTA, SSSP, NSP} and every L-BFS
+// / SSSP variant; parboil {P-BFS, HISTO, TPACF}; rodinia {BP, R-BFS}; shoc
+// {S-BFS, QTC, ST (radix sort)}.
+var clockSensitivePrograms = map[string]bool{
+	// LonestarGPU: all six irregular programs relax/refine in orderings
+	// that depend on timing.
+	"L-BFS": true, "DMR": true, "MST": true, "PTA": true, "SSSP": true, "NSP": true,
+	// Parboil.
+	"P-BFS": true, "HISTO": true, "TPACF": true,
+	// Rodinia.
+	"BP": true, "R-BFS": true,
+	// SHOC.
+	"S-BFS": true, "QTC": true, "ST": true,
+	// Table 3 variants (alternate L-BFS / SSSP implementations).
+	"L-BFS-atomic": true, "L-BFS-wla": true, "L-BFS-wlw": true,
+	"L-BFS-wlc": true, "SSSP-wlc": true, "SSSP-wln": true,
+}
+
+// TestSensitivityDetectorMatchesOrderedLaunchAudit captures every studied
+// program (and every variant) at the default configuration and asserts the
+// clock-sensitivity detector agrees, program by program, with the
+// ordered-launch source audit above. A program the detector wrongly calls
+// insensitive would be replayed unsoundly; one wrongly called sensitive
+// would silently lose the replay speedup.
+func TestSensitivityDetectorMatchesOrderedLaunchAudit(t *testing.T) {
+	ps := append(suites.All(), suites.Variants()...)
+	sensitive := 0
+	for _, p := range ps {
+		dev := sim.NewDevice(kepler.Default)
+		dev.BeginCapture()
+		if err := core.RunProgram(context.Background(), p, dev, p.DefaultInput()); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		tr := dev.EndCapture()
+
+		want := clockSensitivePrograms[p.Name()]
+		if got := tr.ClockSensitive(); got != want {
+			t.Errorf("%s: detector says sensitive=%v, ordered-launch audit says %v (reason %q)",
+				p.Name(), got, want, tr.SensitiveReason())
+			continue
+		}
+		if tr.ClockSensitive() {
+			sensitive++
+			if tr.SensitiveReason() == "" {
+				t.Errorf("%s: sensitive trace carries no reason", p.Name())
+			}
+			if _, err := tr.Replay(kepler.F614); err == nil {
+				t.Errorf("%s: clock-sensitive trace replayed without error", p.Name())
+			}
+		} else {
+			if tr.Launches() == 0 {
+				t.Errorf("%s: insensitive capture recorded no launches", p.Name())
+			}
+			if tr.Bytes() <= 0 {
+				t.Errorf("%s: insensitive capture reports no footprint", p.Name())
+			}
+		}
+	}
+	if want := len(clockSensitivePrograms); sensitive != want {
+		t.Errorf("detector flagged %d programs, audit expects %d", sensitive, want)
+	}
+}
+
+// TestReplayIdentityInvariantWired: the shared full sweep must have
+// evaluated the replay-identity invariant (one check per program per
+// configuration) and found no violations — this is the all-34-programs x
+// all-4-configs bit-identity guarantee behind `gpuchar -selfcheck`.
+func TestReplayIdentityInvariantWired(t *testing.T) {
+	_, rep := sharedSweep(t)
+	for _, v := range rep.Violations {
+		if v.Invariant == "replay-identity" {
+			t.Errorf("replay-identity violation: %s", v)
+		}
+	}
+	// The sweep's check count must include the replay-identity evaluations.
+	if min := len(suites.All()) * len(kepler.Configs); rep.Checks < min {
+		t.Errorf("only %d checks counted, replay-identity alone contributes %d", rep.Checks, min)
+	}
+}

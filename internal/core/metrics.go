@@ -22,6 +22,18 @@ type runnerMetrics struct {
 	sweepJobsDone     *obs.Counter
 	sweepJobsCanceled *obs.Counter
 
+	// Launch-trace cache traffic of the simulate stage: a capture simulated
+	// with trace recording (a cache miss), a replay served a measurement
+	// from a captured trace instead of simulating (a hit), a sensitive run
+	// re-simulated because the program is clock-sensitive. traceSensitive
+	// counts captured traces that turned out sensitive; traceBytes
+	// accumulates the footprint of retained traces.
+	traceCaptures      *obs.Counter
+	traceReplays       *obs.Counter
+	traceSensitive     *obs.Counter
+	traceSensitiveRuns *obs.Counter
+	traceBytes         *obs.Counter
+
 	// Per-stage duration histograms, keyed by stage name.
 	stageHist map[string]*obs.Histogram
 }
@@ -38,14 +50,19 @@ func (r *Runner) metricsHandles() *runnerMetrics {
 	r.metricsOnce.Do(func() {
 		reg := obs.NewRegistry()
 		m := &runnerMetrics{
-			reg:               reg,
-			cacheHits:         reg.Counter("measure_cache_hits"),
-			cacheMisses:       reg.Counter("measure_cache_misses"),
-			singleflightWaits: reg.Counter("measure_singleflight_waits"),
-			sweepJobsTotal:    reg.Counter("sweep_jobs_total"),
-			sweepJobsDone:     reg.Counter("sweep_jobs_done"),
-			sweepJobsCanceled: reg.Counter("sweep_jobs_canceled"),
-			stageHist:         make(map[string]*obs.Histogram, len(StageNames)),
+			reg:                reg,
+			cacheHits:          reg.Counter("measure_cache_hits"),
+			cacheMisses:        reg.Counter("measure_cache_misses"),
+			singleflightWaits:  reg.Counter("measure_singleflight_waits"),
+			sweepJobsTotal:     reg.Counter("sweep_jobs_total"),
+			sweepJobsDone:      reg.Counter("sweep_jobs_done"),
+			sweepJobsCanceled:  reg.Counter("sweep_jobs_canceled"),
+			traceCaptures:      reg.Counter("trace_cache_captures"),
+			traceReplays:       reg.Counter("trace_cache_replays"),
+			traceSensitive:     reg.Counter("trace_cache_sensitive_traces"),
+			traceSensitiveRuns: reg.Counter("trace_cache_sensitive_runs"),
+			traceBytes:         reg.Counter("trace_cache_bytes"),
+			stageHist:          make(map[string]*obs.Histogram, len(StageNames)),
 		}
 		for _, name := range StageNames {
 			m.stageHist[name] = reg.Histogram("stage_" + name + "_seconds")

@@ -83,9 +83,22 @@ type Runner struct {
 	// count never affects measured values (the engine is bit-identical for
 	// any worker count), only wall-clock time.
 	Workers int
+	// NoReplay disables the cross-config launch-trace cache: every
+	// measurement then pays for a full warp-level simulation, exactly as if
+	// the replay engine did not exist. Replay never changes measured values
+	// (replayed timelines are bit-identical to fresh simulations; the golden
+	// corpus and `gpuchar -selfcheck` enforce it), so this is an escape
+	// hatch for debugging and for benchmarking the simulation cost itself.
+	NoReplay bool
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	// traceMu guards traces, the per-(program, input) launch-trace cache the
+	// simulate stage consults: clock-insensitive programs simulate once at
+	// the first requested configuration and replay everywhere else.
+	traceMu sync.Mutex
+	traces  map[string]*traceEntry
 
 	poolOnce sync.Once
 	pool     *sim.WorkerPool
@@ -114,6 +127,17 @@ func (r *Runner) workerPool() *sim.WorkerPool {
 // HTTP requests, sweeps and per-launch block sharding all draw from the same
 // bounded budget and never oversubscribe the machine.
 func (r *Runner) WorkerPool() *sim.WorkerPool { return r.workerPool() }
+
+// traceEntry is one slot of the launch-trace cache. The first goroutine to
+// need a (program, input) pair claims the entry and simulates with capture;
+// concurrent measurements of the same pair at other configurations wait on
+// done and replay. A failed or canceled capture publishes a nil trace and
+// removes the entry, so nothing partial is ever cached and the next
+// measurement recaptures.
+type traceEntry struct {
+	done  chan struct{}    // closed when trace is published (or capture failed)
+	trace *sim.LaunchTrace // nil if the capture failed
+}
 
 type cacheEntry struct {
 	once sync.Once

@@ -70,12 +70,28 @@ func TestRunnerCaching(t *testing.T) {
 	if a != b {
 		t.Error("cache returned a different result pointer")
 	}
-	// Different config: a fresh run.
+	// Different config: the launch-trace cache replays the captured trace
+	// instead of running the (clock-insensitive) program again.
 	if _, err := r.Measure(context.Background(), p, "default", kepler.F614); err != nil {
 		t.Fatal(err)
 	}
+	if calls != 1 {
+		t.Errorf("program ran %d times after second config, want 1 (replayed)", calls)
+	}
+
+	// With the replay engine disabled, every configuration pays for its own
+	// simulation.
+	calls = 0
+	nr := NewRunner()
+	nr.NoReplay = true
+	if _, err := nr.Measure(context.Background(), p, "default", kepler.Default); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nr.Measure(context.Background(), p, "default", kepler.F614); err != nil {
+		t.Fatal(err)
+	}
 	if calls != 2 {
-		t.Errorf("program ran %d times after second config, want 2", calls)
+		t.Errorf("NoReplay: program ran %d times across two configs, want 2", calls)
 	}
 }
 

@@ -87,14 +87,114 @@ func (r *Runner) runStages(ctx context.Context, st *measureState) error {
 	return nil
 }
 
-// stageSimulate runs the program on a fresh device. Execution is
-// deterministic per configuration; cancellation aborts between thread
-// blocks and surfaces as the context error.
+// stageSimulate produces the completed device for this (program, input,
+// config) — by full warp-level simulation or, when the launch-trace cache
+// holds a clock-insensitive trace of the pair, by replaying only the timing
+// model against it (sim.LaunchTrace.Replay; bit-identical to a fresh
+// simulation, so every downstream stage is oblivious to which path ran).
+// Execution is deterministic per configuration; cancellation aborts between
+// thread blocks and surfaces as the context error.
 func (r *Runner) stageSimulate(st *measureState) error {
+	if r.NoReplay {
+		_, err := r.simulateFresh(st, false)
+		return err
+	}
+	m := r.metricsHandles()
+	key := st.p.Name() + "\x00" + st.input
+
+	r.traceMu.Lock()
+	if r.traces == nil {
+		r.traces = make(map[string]*traceEntry)
+	}
+	e, ok := r.traces[key]
+	if !ok {
+		// First measurement of this (program, input): claim the entry and
+		// simulate with capture.
+		e = &traceEntry{done: make(chan struct{})}
+		r.traces[key] = e
+		r.traceMu.Unlock()
+
+		published := false
+		defer func() {
+			if !published {
+				// Failed (or panicking) capture: never publish a partial
+				// trace — evict the entry so the next measurement
+				// recaptures, and wake waiters to simulate on their own.
+				r.traceMu.Lock()
+				if r.traces[key] == e {
+					delete(r.traces, key)
+				}
+				r.traceMu.Unlock()
+				close(e.done)
+			}
+		}()
+		tr, err := r.simulateFresh(st, true)
+		if err != nil {
+			return err
+		}
+		e.trace = tr
+		published = true
+		close(e.done)
+		m.traceCaptures.Inc()
+		m.traceBytes.Add(tr.Bytes())
+		if tr.ClockSensitive() {
+			m.traceSensitive.Inc()
+		}
+		return nil
+	}
+	r.traceMu.Unlock()
+
+	// Another measurement of the pair is capturing (or has captured): wait
+	// for the trace rather than simulating the same work in parallel.
+	select {
+	case <-e.done:
+	case <-st.ctx.Done():
+		return st.ctx.Err()
+	}
+	tr := e.trace
+	switch {
+	case tr == nil:
+		// The capture failed (typically canceled). Its entry is already
+		// evicted; simulate independently without touching the cache.
+		_, err := r.simulateFresh(st, false)
+		return err
+	case tr.ClockSensitive():
+		// Ordered launches (or mid-run clock reads) make the program's Go
+		// state evolve per configuration: replay would be unsound, so every
+		// configuration pays for its own simulation.
+		m.traceSensitiveRuns.Inc()
+		_, err := r.simulateFresh(st, false)
+		return err
+	default:
+		dev, err := tr.Replay(st.clk)
+		if err != nil {
+			_, err := r.simulateFresh(st, false)
+			return err
+		}
+		dev.SetWorkerPool(r.workerPool())
+		st.dev = dev
+		m.traceReplays.Inc()
+		return nil
+	}
+}
+
+// simulateFresh runs the program on a fresh device, optionally capturing
+// the clock-independent launch trace. On error the device (and any partial
+// capture) is discarded.
+func (r *Runner) simulateFresh(st *measureState, capture bool) (*sim.LaunchTrace, error) {
 	dev := sim.NewDevice(st.clk)
 	dev.SetWorkerPool(r.workerPool())
 	st.dev = dev
-	return RunProgram(st.ctx, st.p, dev, st.input)
+	if capture {
+		dev.BeginCapture()
+	}
+	if err := RunProgram(st.ctx, st.p, dev, st.input); err != nil {
+		return nil, err
+	}
+	if capture {
+		return dev.EndCapture(), nil
+	}
+	return nil, nil
 }
 
 // stageTimeline derives the power timeline and ground truth from the

@@ -52,6 +52,9 @@ type nspFormula struct {
 	neg       [][]bool  // per clause: is the literal negated
 	// occurrence lists: clauses per variable with the sign
 	occ [][]int32
+	// slot[v][i] is v's literal index within clause occ[v][i], so message
+	// lookups need no per-clause search.
+	slot [][]int32
 }
 
 func nspGenerate(nc, nv, k int, seed uint64) *nspFormula {
@@ -60,6 +63,7 @@ func nspGenerate(nc, nv, k int, seed uint64) *nspFormula {
 	f.lits = make([][]int32, nc)
 	f.neg = make([][]bool, nc)
 	f.occ = make([][]int32, nv)
+	f.slot = make([][]int32, nv)
 	for a := 0; a < nc; a++ {
 		seen := map[int32]bool{}
 		for len(f.lits[a]) < k {
@@ -71,6 +75,7 @@ func nspGenerate(nc, nv, k int, seed uint64) *nspFormula {
 			f.lits[a] = append(f.lits[a], v)
 			f.neg[a] = append(f.neg[a], rng.Float64() < 0.5)
 			f.occ[v] = append(f.occ[v], int32(a))
+			f.slot[v] = append(f.slot[v], int32(len(f.lits[a])-1))
 		}
 	}
 	return f
@@ -112,27 +117,21 @@ func (p *NSP) Run(ctx context.Context, dev *sim.Device, input string) error {
 	dOcc := dev.NewArray(nc*k, 4)
 	dBias := dev.NewArray(nv, 8)
 
-	fixed := make(map[int32]bool)
-	assign := make(map[int32]bool) // variable -> value
+	fixed := make([]bool, nv)
+	assign := make([]bool, nv) // variable -> value
 
 	// etaInto computes the product terms for variable v excluding clause
 	// excl, respecting decimation (fixed variables force their clauses).
 	prodTerms := func(v int32, excl int32, signNeg bool) (pu, ps, p0 float64) {
 		pu, ps, p0 = 1, 1, 1
-		for _, b := range f.occ[v] {
+		slots := f.slot[v]
+		for oi, b := range f.occ[v] {
 			if b == excl {
 				continue
 			}
-			// Find v's slot and sign in clause b.
-			var e float64
-			var bn bool
-			for i, lv := range f.lits[b] {
-				if lv == v {
-					e = eta[b][i]
-					bn = f.neg[b][i]
-					break
-				}
-			}
+			s := slots[oi]
+			e := eta[b][s]
+			bn := f.neg[b][s]
 			if bn == signNeg {
 				ps *= 1 - e
 			} else {

@@ -3,6 +3,7 @@ package lonestar
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -101,13 +102,17 @@ func (p *PTA) Run(ctx context.Context, dev *sim.Device, input string) error {
 		pts[a[0]][a[1]/64] |= 1 << uint(a[1]%64)
 	}
 	// Dynamic copy edges (including those added by load/store resolution).
-	copyEdges := make(map[[2]int32]bool, len(cs.copies))
+	// Membership is a dense bitset over the dst*vars+src edge space: the
+	// load/store rules re-propose the same edges every round, so the
+	// membership test is the hottest host-side operation of the whole
+	// benchmark — a map here dominated the simulation's profile. The
+	// bitset changes only the cost of the test; edgeList order (and hence
+	// every recorded kernel operation) is untouched.
+	copyEdges := newEdgeSet(cs.vars)
 	var edgeList [][2]int32
 	addEdge := func(dst, src int32) {
-		k := [2]int32{dst, src}
-		if !copyEdges[k] {
-			copyEdges[k] = true
-			edgeList = append(edgeList, k)
+		if copyEdges.insert(dst, src) {
+			edgeList = append(edgeList, [2]int32{dst, src})
 		}
 	}
 	for _, e := range cs.copies {
@@ -120,10 +125,11 @@ func (p *PTA) Run(ctx context.Context, dev *sim.Device, input string) error {
 
 	union := func(dst, src int32) bool {
 		changed := false
-		for w := 0; w < cs.words; w++ {
-			nv := pts[dst][w] | pts[src][w]
-			if nv != pts[dst][w] {
-				pts[dst][w] = nv
+		d, s := pts[dst], pts[src]
+		for w := range d {
+			nv := d[w] | s[w]
+			if nv != d[w] {
+				d[w] = nv
 				changed = true
 			}
 		}
@@ -233,30 +239,70 @@ func ptaSolveRef(cs *ptaConstraints) [][]uint64 {
 	for _, a := range cs.addrOf {
 		pts[a[0]][a[1]/64] |= 1 << uint(a[1]%64)
 	}
-	edges := make(map[[2]int32]bool)
-	var list [][2]int32
+	// Worklist solver: propagate only from variables whose points-to set
+	// changed, following out-edge adjacency. The solution is the unique
+	// least fixpoint of the monotone constraint system, so this computes
+	// exactly what the original propagate-every-edge-each-round loop did.
+	edges := newEdgeSet(cs.vars)
+	out := make([][]int32, cs.vars)
+	queued := make([]bool, cs.vars)
+	// delta[v] holds the bits added to pts[v] since v was last propagated;
+	// pops forward only the delta, while edge creation unions the full
+	// source set — together every bit reaches every successor.
+	delta := make([][]uint64, cs.vars)
+	for i := range delta {
+		delta[i] = make([]uint64, cs.words)
+	}
+	tmp := make([]uint64, cs.words)
+	var queue []int32
+	push := func(v int32) {
+		if !queued[v] {
+			queued[v] = true
+			queue = append(queue, v)
+		}
+	}
+	union := func(d int32, src []uint64) bool {
+		changed := false
+		dst, dl := pts[d], delta[d]
+		for w, b := range src {
+			if nb := b &^ dst[w]; nb != 0 {
+				dst[w] |= nb
+				dl[w] |= nb
+				changed = true
+			}
+		}
+		return changed
+	}
+	grew := false
 	add := func(d, s int32) {
-		k := [2]int32{d, s}
-		if !edges[k] {
-			edges[k] = true
-			list = append(list, k)
+		if edges.insert(d, s) {
+			out[s] = append(out[s], d)
+			grew = true
+			if union(d, pts[s]) {
+				push(d)
+			}
 		}
 	}
 	for _, e := range cs.copies {
 		add(e[0], e[1])
 	}
 	for {
-		changed := false
-		for _, e := range list {
-			for w := 0; w < cs.words; w++ {
-				nv := pts[e[0]][w] | pts[e[1]][w]
-				if nv != pts[e[0]][w] {
-					pts[e[0]][w] = nv
-					changed = true
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			queued[v] = false
+			dv := delta[v]
+			copy(tmp, dv)
+			for w := range dv {
+				dv[w] = 0
+			}
+			for _, d := range out[v] {
+				if union(d, tmp) {
+					push(d)
 				}
 			}
 		}
-		grow := len(list)
+		grew = false
 		for _, l := range cs.loads {
 			for w := 0; w < cs.words; w++ {
 				bits := pts[l[1]][w]
@@ -277,22 +323,38 @@ func ptaSolveRef(cs *ptaConstraints) [][]uint64 {
 				}
 			}
 		}
-		if len(list) > grow {
-			changed = true
-		}
-		if !changed {
+		if !grew && len(queue) == 0 {
 			return pts
 		}
 	}
 }
 
-// trailingZeros is bits.TrailingZeros64 without the import churn at call
-// sites that mix int32 math.
+// trailingZeros is bits.TrailingZeros64 under the name the bit-enumeration
+// loops above use; the loops run once per points-to member per round, so
+// the intrinsic matters.
 func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
+	return bits.TrailingZeros64(x)
+}
+
+// edgeSet is a dense bitset over the vars x vars copy-edge space,
+// replacing a map[[2]int32]bool whose hashing dominated PTA's host-side
+// profile. At the paper's largest input (4000 variables) it is 2 MB.
+type edgeSet struct {
+	vars  int
+	words []uint64
+}
+
+func newEdgeSet(vars int) *edgeSet {
+	return &edgeSet{vars: vars, words: make([]uint64, (vars*vars+63)/64)}
+}
+
+// insert adds (dst, src) and reports whether it was absent.
+func (s *edgeSet) insert(dst, src int32) bool {
+	k := uint64(dst)*uint64(s.vars) + uint64(src)
+	w, b := k/64, uint64(1)<<(k%64)
+	if s.words[w]&b != 0 {
+		return false
 	}
-	return n
+	s.words[w] |= b
+	return true
 }

@@ -31,6 +31,12 @@ type Mesh struct {
 
 	alive int // count of alive triangles
 	last  int // walking-start hint for point location
+
+	// minAng memoizes MinAngleDeg per triangle (NaN = not yet computed).
+	// A triangle's vertices are written once at append time and never
+	// mutated (refinement kills triangles and appends new ones), so the
+	// cached value is bitwise identical to recomputation.
+	minAng []float64
 }
 
 // Generate builds the Delaunay triangulation of n random points in the unit
@@ -71,6 +77,18 @@ func (m *Mesh) IsBoundary(t int) bool {
 
 // MinAngleDeg returns the smallest interior angle of triangle t in degrees.
 func (m *Mesh) MinAngleDeg(t int) float64 {
+	if t < len(m.minAng) {
+		if a := m.minAng[t]; !math.IsNaN(a) {
+			return a
+		}
+	} else {
+		grown := make([]float64, len(m.Tris))
+		copy(grown, m.minAng)
+		for i := len(m.minAng); i < len(grown); i++ {
+			grown[i] = math.NaN()
+		}
+		m.minAng = grown
+	}
 	tr := &m.Tris[t]
 	a, b, c := m.Pts[tr.V[0]], m.Pts[tr.V[1]], m.Pts[tr.V[2]]
 	la := dist(b, c)
@@ -81,7 +99,9 @@ func (m *Mesh) MinAngleDeg(t int) float64 {
 	angB := math.Acos(clamp1((la*la + lc*lc - lb*lb) / (2 * la * lc)))
 	angC := math.Pi - angA - angB
 	min := math.Min(angA, math.Min(angB, angC))
-	return min * 180 / math.Pi
+	deg := min * 180 / math.Pi
+	m.minAng[t] = deg
+	return deg
 }
 
 // IsBad reports whether triangle t violates the quality bound (and is not a

@@ -98,6 +98,10 @@ type Device struct {
 	// ctx is the cancellation signal the launch loops poll at block
 	// granularity; Background when the device was not given one.
 	ctx context.Context
+
+	// capture, when non-nil, records the clock-independent launch timeline
+	// (see BeginCapture) and flags clock-sensitive behaviour.
+	capture *LaunchTrace
 }
 
 // NewDevice creates a device at the given clock configuration. The seed
@@ -136,11 +140,23 @@ func (d *Device) SetContext(ctx context.Context) {
 	d.ctx = ctx
 }
 
-// Now returns the simulated time in seconds.
-func (d *Device) Now() float64 { return d.now }
+// Now returns the simulated time in seconds. Reading it during a capture
+// marks the trace clock-sensitive: simulated time is priced per
+// configuration, so a program that branches on it evolves config-dependent
+// Go state and cannot be replayed across configurations.
+func (d *Device) Now() float64 {
+	if d.capture != nil {
+		d.capture.markSensitive("mid-run Now() read")
+	}
+	return d.now
+}
 
-// ActiveTime returns the total simulated time spent executing kernels.
+// ActiveTime returns the total simulated time spent executing kernels. Like
+// Now, a mid-capture read marks the trace clock-sensitive.
 func (d *Device) ActiveTime() float64 {
+	if d.capture != nil {
+		d.capture.markSensitive("mid-run ActiveTime() read")
+	}
 	var t float64
 	for _, l := range d.Launches {
 		t += l.TotalDuration()
@@ -214,6 +230,9 @@ func (d *Device) HostPause(dt float64) {
 	if dt <= 0 {
 		return
 	}
+	if d.capture != nil {
+		d.capture.recordPause(dt)
+	}
 	d.Gaps = append(d.Gaps, Gap{Start: d.now, Duration: dt})
 	d.now += dt
 }
@@ -228,6 +247,12 @@ func (d *Device) HostPause(dt float64) {
 func (d *Device) Repeat(l *Launch, n int) {
 	if l == nil || n <= l.Repeat {
 		return
+	}
+	if d.capture != nil {
+		// Launches[i].Seq == i by construction (every launch appends one
+		// record and takes the next sequence number), so Seq doubles as the
+		// timeline index replay needs.
+		d.capture.recordRepeat(l.Seq, n)
 	}
 	extra := float64(n-l.Repeat) * l.Duration
 	l.Repeat = n

@@ -98,6 +98,10 @@ func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
 		d.now += d.interLaunchGap
 	}
 
+	if d.capture != nil {
+		d.capture.recordLaunch(spec, occ, &stats, blockCycles, d.timeScale)
+	}
+
 	l := &Launch{
 		Name:           spec.Name,
 		Seq:            seq,
@@ -207,7 +211,7 @@ func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float6
 		go func(w int) {
 			defer wg.Done()
 			e := executorPool.Get().(*blockExecutor)
-			defer executorPool.Put(e)
+			defer putExecutor(e)
 			work(w, e)
 		}(w)
 	}

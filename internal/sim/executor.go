@@ -53,5 +53,23 @@ func (e *blockExecutor) runBlock(spec LaunchSpec, fn ThreadFunc, block int) trac
 }
 
 // executorPool recycles blockExecutors (and the op buffers their lane logs
-// have grown) across parallel launches.
+// have grown) across parallel launches. Return executors through
+// putExecutor, never executorPool.Put directly: one pathological kernel
+// would otherwise pin its op-buffer high-water mark in the pool for the
+// process lifetime.
 var executorPool = sync.Pool{New: func() any { return newBlockExecutor() }}
+
+// maxPooledOpsPerLane caps the op-buffer capacity a pooled lane log may
+// retain (~24 B/op x 32 lanes ≈ 3 MiB per executor at the cap). Buffers
+// grown beyond it by an outsized kernel are dropped on return and
+// reallocated lazily by the next big launch.
+const maxPooledOpsPerLane = 4096
+
+// putExecutor returns an executor to the pool, dropping any lane buffer an
+// outsized kernel grew past maxPooledOpsPerLane.
+func putExecutor(e *blockExecutor) {
+	for _, l := range e.lanes {
+		l.Trim(maxPooledOpsPerLane)
+	}
+	executorPool.Put(e)
+}

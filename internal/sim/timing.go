@@ -118,8 +118,91 @@ func kernelTime(clk kepler.Clocks, occ kepler.Occupancy, s *trace.KernelStats, b
 }
 
 // listSchedule greedily assigns costs to p processors in order, returning
-// the makespan (max processor load).
+// the makespan (max processor load). The least-loaded slot is tracked in a
+// min-heap ordered by (load, slot index) — lexicographic ties resolve to the
+// lowest index, which is exactly the slot a linear first-minimum scan would
+// pick, so the assignment sequence (and hence every float accumulation) is
+// bit-identical to the O(blocks x slots) scan this replaces (see
+// listScheduleLinear and TestListScheduleHeapMatchesLinear). Grids run to
+// tens of thousands of blocks over up to 208 slots on every launch, so the
+// log(p) update matters.
 func listSchedule(costs []float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if len(costs) == 0 {
+		return 0
+	}
+	if p > len(costs) {
+		p = len(costs)
+	}
+	if p == 1 {
+		var sum float64
+		for _, c := range costs {
+			sum += c
+		}
+		return sum
+	}
+	h := slotHeap{load: make([]float64, p), idx: make([]int32, p)}
+	for i := range h.idx {
+		// All-zero loads with ascending indices: a valid (load, idx) min-heap
+		// by construction, since a parent's array position — and therefore
+		// its index — is always below its children's.
+		h.idx[i] = int32(i)
+	}
+	for _, c := range costs {
+		h.load[0] += c // root is the least-loaded slot
+		h.siftDown()
+	}
+	var max float64
+	for _, l := range h.load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// slotHeap is a binary min-heap of block slots keyed by (load, slot index).
+type slotHeap struct {
+	load []float64
+	idx  []int32
+}
+
+// less orders slots by load, then by original slot index (the tie-break that
+// matches a first-minimum linear scan).
+func (h *slotHeap) less(a, b int) bool {
+	if h.load[a] != h.load[b] {
+		return h.load[a] < h.load[b]
+	}
+	return h.idx[a] < h.idx[b]
+}
+
+// siftDown restores the heap property after the root's load was increased.
+func (h *slotHeap) siftDown() {
+	i := 0
+	n := len(h.load)
+	for {
+		s := i
+		if l := 2*i + 1; l < n && h.less(l, s) {
+			s = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h.load[i], h.load[s] = h.load[s], h.load[i]
+		h.idx[i], h.idx[s] = h.idx[s], h.idx[i]
+		i = s
+	}
+}
+
+// listScheduleLinear is the O(len(costs) x p) reference implementation the
+// heap version must match bit for bit; it is kept for the equivalence test
+// and the microbenchmark.
+func listScheduleLinear(costs []float64, p int) float64 {
 	if p < 1 {
 		p = 1
 	}
@@ -131,7 +214,6 @@ func listSchedule(costs []float64, p int) float64 {
 	}
 	load := make([]float64, p)
 	for _, c := range costs {
-		// Find least-loaded processor (p is small: 13..208).
 		minI := 0
 		for i := 1; i < p; i++ {
 			if load[i] < load[minI] {

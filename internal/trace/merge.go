@@ -187,6 +187,15 @@ func MergeWarp(lanes []*LaneLog, stats *KernelStats) {
 	var addrs [32]uint64
 	var gKind [32]Kind
 	var gSize [32]uint32
+	// Per-slot lane cache: one pass over the lane logs copies the slot's
+	// operations into stack arrays, so the grouping and per-group gather
+	// below never chase lane-log pointers a second time. Lane order is
+	// preserved, so every downstream array (addrs in particular) sees the
+	// lanes in exactly the order the two-pass version produced.
+	var cKind [32]Kind
+	var cSize [32]uint32
+	var cRep [32]uint32
+	var cAddr [32]uint64
 	nLanes := len(lanes)
 	for slot := 0; slot < maxLen; slot++ {
 		nGroups := 0
@@ -196,8 +205,12 @@ func MergeWarp(lanes []*LaneLog, stats *KernelStats) {
 			if l == nil || slot >= len(l.ops) {
 				continue
 			}
-			laneCount++
 			o := &l.ops[slot]
+			cKind[laneCount] = o.kind
+			cSize[laneCount] = o.size
+			cRep[laneCount] = o.rep
+			cAddr[laneCount] = o.addr
+			laneCount++
 			found := false
 			for g := 0; g < nGroups; g++ {
 				if gKind[g] == o.kind && gSize[g] == o.size {
@@ -220,21 +233,14 @@ func MergeWarp(lanes []*LaneLog, stats *KernelStats) {
 			// Gather this group's lanes: max repeat and addresses.
 			var maxRep int64
 			n := 0
-			for i := 0; i < nLanes; i++ {
-				l := lanes[i]
-				if l == nil || slot >= len(l.ops) {
+			for i := 0; i < laneCount; i++ {
+				if cKind[i] != kind || cSize[i] != size {
 					continue
 				}
-				o := &l.ops[slot]
-				if o.kind != kind || o.size != size {
-					continue
+				if int64(cRep[i]) > maxRep {
+					maxRep = int64(cRep[i])
 				}
-				if int64(o.rep) > maxRep {
-					maxRep = int64(o.rep)
-				}
-				if n < len(addrs) {
-					addrs[n] = o.addr
-				}
+				addrs[n] = cAddr[i]
 				n++
 			}
 			switch kind {
@@ -280,6 +286,72 @@ func segmentCount(addrs []uint64, size int) int {
 	if size <= 0 {
 		size = 4
 	}
+	// Warp accesses are overwhelmingly lane-ordered strides, so the segment
+	// sequence is almost always non-decreasing — duplicates are adjacent and
+	// the distinct count is one plus the number of rises, in one pass.
+	count := 0
+	var prev uint64
+	nondec := true
+scan:
+	for _, a := range addrs {
+		first := a >> 7
+		last := (a + uint64(size) - 1) >> 7
+		for s := first; s <= last; s++ {
+			switch {
+			case count == 0:
+				prev, count = s, 1
+			case s > prev:
+				prev = s
+				count++
+			case s < prev:
+				nondec = false
+				break scan
+			}
+		}
+	}
+	if nondec {
+		return count
+	}
+	// Scattered accesses: with at most 64 candidate segments the count is an
+	// exact distinct-set size — a small open-addressed hash computes it in
+	// O(n). Beyond that (accesses spanning >2 segments each) defer to the
+	// capacity-limited linear scan, which is the original semantics.
+	total := 0
+	for _, a := range addrs {
+		total += int(((a+uint64(size)-1)>>7)-(a>>7)) + 1
+	}
+	if total <= 64 {
+		var table [128]uint64
+		var occ [2]uint64
+		n := 0
+		for _, a := range addrs {
+			first := a >> 7
+			last := (a + uint64(size) - 1) >> 7
+			for s := first; s <= last; s++ {
+				h := (s * 0x9e3779b97f4a7c15) >> 57 // 7 bits
+				for {
+					if occ[h>>6]&(1<<(h&63)) == 0 {
+						occ[h>>6] |= 1 << (h & 63)
+						table[h] = s
+						n++
+						break
+					}
+					if table[h] == s {
+						break
+					}
+					h = (h + 1) & 127
+				}
+			}
+		}
+		return n
+	}
+	return segmentCountGeneral(addrs, size)
+}
+
+// segmentCountGeneral is the capacity-limited linear-scan fallback: segments
+// beyond the 64 tracked slots are dedup-checked against the tracked set only,
+// so duplicates of untracked segments count as new.
+func segmentCountGeneral(addrs []uint64, size int) int {
 	var segs [64]uint64
 	n := 0
 	for _, a := range addrs {
@@ -341,19 +413,48 @@ func bankConflictCycles(offsets []uint64) int {
 
 // distinctCount returns the number of distinct addresses.
 func distinctCount(addrs []uint64) int {
-	var seen [32]uint64
+	if len(addrs) == 0 {
+		return 0
+	}
+	// Fast paths for the two dominant warp access shapes: strictly
+	// ascending lane-ordered strides (all distinct) and broadcasts from a
+	// single location (one distinct). Both verify in one pass; the
+	// quadratic set-insertion below handles everything else and computes
+	// the same count.
+	ascending, uniform := true, true
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] <= addrs[i-1] {
+			ascending = false
+		}
+		if addrs[i] != addrs[0] {
+			uniform = false
+		}
+	}
+	if ascending {
+		return len(addrs)
+	}
+	if uniform {
+		return 1
+	}
+	// Scattered case: a warp has at most 32 addresses, so a 64-slot
+	// open-addressed hash (occupancy bitmap, no clearing) counts the
+	// distinct set in O(n).
+	var table [64]uint64
+	var occ uint64
 	distinct := 0
 	for _, a := range addrs {
-		dup := false
-		for i := 0; i < distinct; i++ {
-			if seen[i] == a {
-				dup = true
+		h := (a * 0x9e3779b97f4a7c15) >> 58 // 6 bits
+		for {
+			if occ&(1<<h) == 0 {
+				occ |= 1 << h
+				table[h] = a
+				distinct++
 				break
 			}
-		}
-		if !dup {
-			seen[distinct] = a
-			distinct++
+			if table[h] == a {
+				break
+			}
+			h = (h + 1) & 63
 		}
 	}
 	return distinct

@@ -60,6 +60,18 @@ func (l *LaneLog) Reset() {
 // Len returns the number of recorded operation slots.
 func (l *LaneLog) Len() int { return len(l.ops) }
 
+// Cap returns the capacity of the op buffer in operation slots.
+func (l *LaneLog) Cap() int { return cap(l.ops) }
+
+// Trim drops the op buffer when its capacity exceeds max slots, so pools
+// that recycle lane logs do not pin one outsized kernel's footprint for the
+// life of the process. The buffer is reallocated lazily on the next record.
+func (l *LaneLog) Trim(max int) {
+	if cap(l.ops) > max {
+		l.ops = nil
+	}
+}
+
 func (l *LaneLog) record(k Kind, size, rep uint32, addr uint64) {
 	l.ops = append(l.ops, op{kind: k, size: size, rep: rep, addr: addr})
 }

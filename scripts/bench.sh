@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Sweep benchmark harness: runs the cold-sweep benchmarks that bracket the
+# launch-trace replay engine (BenchmarkColdSweep with replay on,
+# BenchmarkColdSweepNoReplay as the from-scratch baseline), the raw engine
+# throughput and the isolated replay path, and writes BENCH_sweep.json — the
+# raw `go test -bench` lines (benchstat-compatible) plus the parsed ns/op of
+# each benchmark, the machine's worker budget and the run date. Shared by
+# `make bench` and the CI bench job.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_sweep.json}
+BENCHES='BenchmarkColdSweep$|BenchmarkColdSweepNoReplay$|BenchmarkSimulatorThroughput$|BenchmarkReplaySweep$'
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# One iteration each: the cold sweeps are minutes-long end-to-end runs, not
+# microbenchmarks — a single run is the statistic.
+go test -run '^$' -bench "$BENCHES" -benchtime 1x -timeout 60m . | tee "$RAW" >&2
+
+# Benchmark names carry a -N GOMAXPROCS suffix only when N > 1; fall back to
+# the environment (or the machine's CPU count) for single-proc runs.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v defprocs="${GOMAXPROCS:-$(nproc)}" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    # BenchmarkName-8  1  123456 ns/op [extra metrics]
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (maxprocs == "" && match($1, /-[0-9]+$/)) {
+        maxprocs = substr($1, RSTART + 1)
+    }
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") { ns[name] = $i }
+    }
+    raw[++n] = $0
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"cpu\": \"%s\",\n", cpu
+    if (maxprocs == "") maxprocs = defprocs
+    printf "  \"gomaxprocs\": %d,\n", maxprocs + 0
+    # Trajectory origin: the pre-replay engine (no trace cache, linear
+    # list scheduling, pre-optimization warp merge) measured on the same
+    # one-core CI container, 2026-08-06. Later runs are compared to this.
+    printf "  \"baseline\": {\n"
+    printf "    \"date\": \"2026-08-06\",\n"
+    printf "    \"cold_sweep_ns\": 155854314692,\n"
+    printf "    \"note\": \"seed engine before launch-trace replay\"\n"
+    printf "  },\n"
+    printf "  \"ns_per_op\": {\n"
+    first = 1
+    for (b in ns) {
+        if (!first) printf ",\n"
+        printf "    \"%s\": %s", b, ns[b]
+        first = 0
+    }
+    printf "\n  },\n"
+    cold = ns["BenchmarkColdSweep"]; base = ns["BenchmarkColdSweepNoReplay"]
+    if (cold > 0 && base > 0) {
+        printf "  \"replay_speedup\": %.3f,\n", base / cold
+    }
+    printf "  \"benchstat_lines\": [\n"
+    for (i = 1; i <= n; i++) {
+        gsub(/"/, "\\\"", raw[i]); gsub(/\t/, " ", raw[i])
+        printf "    \"%s\"%s\n", raw[i], (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
