@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden smoke serve-smoke bench lint-launch ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke bench lint-launch ci
 
 all: ci
 
@@ -44,6 +44,19 @@ smoke:
 	jq -e '.counters.measure_cache_hits > 0' /tmp/gpuchar-smoke-2.json
 	jq -e '.counters.measure_cache_misses == 0' /tmp/gpuchar-smoke-2.json
 	jq -e '.histograms.stage_simulate_seconds.count == 0' /tmp/gpuchar-smoke-2.json
+
+# Dense-grid frontier golden-diff smoke: two runs of `gpuchar -exp frontier`
+# (cold, then warm from the same store) must print byte-identical frontier
+# tables, and the warm run must re-price the whole ~100-config grid without
+# a single simulation. Mirrors the CI frontier-smoke job; needs jq.
+frontier-smoke:
+	$(GO) build -o /tmp/gpuchar-frontier ./cmd/gpuchar
+	rm -f /tmp/gpuchar-frontier-store.json
+	/tmp/gpuchar-frontier -exp frontier -reps 1 -store /tmp/gpuchar-frontier-store.json -metrics >/tmp/gpuchar-frontier-1.txt 2>/tmp/gpuchar-frontier-1.json
+	/tmp/gpuchar-frontier -exp frontier -reps 1 -store /tmp/gpuchar-frontier-store.json -metrics >/tmp/gpuchar-frontier-2.txt 2>/tmp/gpuchar-frontier-2.json
+	cmp /tmp/gpuchar-frontier-1.txt /tmp/gpuchar-frontier-2.txt
+	jq -e '.histograms.stage_simulate_seconds.count == 0' /tmp/gpuchar-frontier-2.json
+	jq -e '.counters.frontier_replays > 0' /tmp/gpuchar-frontier-2.json
 
 # gpuchard coalescing + graceful-shutdown smoke: N concurrent identical
 # measure requests against the real server must cost exactly one simulation

@@ -283,6 +283,47 @@ func BenchmarkReplaySweep(b *testing.B) {
 	b.ReportMetric(float64(len(traces)*len(others)), "replays/op")
 }
 
+// BenchmarkFrontierGridReplay prices the dense DVFS frontier's hot path:
+// every clock-insensitive program's trace, captured once outside the timed
+// region, replayed across the full ~100-config grid (the work `gpuchar -exp
+// frontier` does per program after its single capture). ns/op divided by
+// replays/op is the marginal cost of one grid configuration.
+func BenchmarkFrontierGridReplay(b *testing.B) {
+	grid, err := kepler.Grid(kepler.DefaultGridSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var traces []*sim.LaunchTrace
+	for _, p := range suites.All() {
+		dev := sim.NewDevice(kepler.Default)
+		dev.BeginCapture()
+		if err := core.RunProgram(context.Background(), p, dev, p.DefaultInput()); err != nil {
+			b.Fatal(err)
+		}
+		tr := dev.EndCapture()
+		if !tr.ClockSensitive() {
+			traces = append(traces, tr)
+		}
+	}
+	if len(traces) == 0 {
+		b.Fatal("no clock-insensitive traces captured")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range traces {
+			for _, clk := range grid {
+				if clk.Name == kepler.Default.Name {
+					continue // the capture config is never replayed
+				}
+				if _, err := tr.Replay(clk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(len(traces)*(len(grid)-1)), "replays/op")
+}
+
 // BenchmarkColdSweepSerial is the same sweep restricted to one worker — the
 // pre-parallel engine's behaviour — so the speedup of the worker pool is the
 // ratio of the two benchmarks.

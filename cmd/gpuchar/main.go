@@ -8,6 +8,7 @@
 //	gpuchar -exp table1,table2,fig2,fig3,fig4,table3,table4,fig5,fig6
 //	gpuchar -exp fig2 -reps 3
 //	gpuchar -exp all -store sweep.json -timeout 10m -metrics
+//	gpuchar -exp frontier -reps 1    # dense DVFS grid: EDP/ED²P sweet spots, Pareto fronts
 //	gpuchar -selfcheck    # physics-invariant verification sweep (internal/check)
 //
 // The sweep is cancelable: SIGINT (and -timeout) cancel the measurement
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/frontier"
 	"repro/internal/kepler"
 	"repro/internal/report"
 	"repro/internal/suites"
@@ -38,7 +40,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'; 'frontier' (dense DVFS grid) runs only when requested explicitly")
 		reps      = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
 		store     = flag.String("store", "", "measurement cache file: loaded if present, saved on exit (also on failure, timeout and SIGINT)")
 		selfcheck = flag.Bool("selfcheck", false, "run the physics-invariant verification sweep instead of the experiments; exit 1 on any violation")
@@ -286,6 +288,19 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 				return err
 			}
 			report.FreqSweep(out, p.Name(), points)
+		}
+		fmt.Fprintln(out)
+	}
+	// The dense-grid frontier is deliberately NOT part of 'all': it sweeps
+	// ~25x the paper's configuration count, and keeping it out preserves the
+	// byte-identical stdout of the existing experiment set.
+	if want["frontier"] {
+		results, err := frontier.SweepAll(ctx, runner, programs, frontier.Options{})
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			report.Frontier(out, res)
 		}
 		fmt.Fprintln(out)
 	}

@@ -13,7 +13,8 @@
 //
 //	POST /v1/measure   {"program":"NB","input":"...","config":"614"}
 //	POST /v1/sweep     {"programs":[...],"configs":[...],"allInputs":false}
-//	GET  /v1/jobs/{id} sweep progress
+//	POST /v1/frontier  {"program":"NB","spec":{...optional DVFS grid...}}
+//	GET  /v1/jobs/{id} sweep/frontier progress (frontier jobs carry the summary when done)
 //	GET  /v1/results   every cached measurement and exclusion
 //	GET  /metrics      observability registry snapshot (JSON)
 //	GET  /healthz      liveness + cache occupancy

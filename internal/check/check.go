@@ -20,7 +20,12 @@
 //   - replay-identity: the launch-trace replay engine (capture in
 //     internal/sim plus the core trace cache) produces Results
 //     bit-identical to a runner that simulates every configuration from
-//     scratch (NoReplay), across every program and configuration.
+//     scratch (NoReplay), across every program and configuration;
+//   - dense-grid frontier: the generated DVFS grid (internal/kepler.Grid,
+//     swept by internal/frontier) keeps per-row runtime monotone and
+//     energy valley-shaped in the core clock, and the default
+//     configuration never strictly dominates a reported sweet spot (see
+//     frontier.go).
 //
 // The engine is a library (used by `gpuchar -selfcheck` and CI) and the
 // substrate of the golden-corpus tests in this package: any physics drift
@@ -78,13 +83,28 @@ type Options struct {
 	// proving launch-trace replay never changes a measured value (nil
 	// disables the replay-identity invariant).
 	ReplayConfigs []kepler.Clocks
+
+	// FrontierSpec bounds the dense-grid frontier invariants (see
+	// frontier.go); the zero value disables them.
+	FrontierSpec kepler.GridSpec
+	// FrontierPrograms caps how many programs the frontier invariants
+	// sweep (evenly spaced over the program list; 0 sweeps all of them).
+	FrontierPrograms int
+	// FrontierTimeTol is the slack on dense-grid runtime monotonicity
+	// within a grid row.
+	FrontierTimeTol float64
+	// FrontierValleyTol is the slack on the dense-grid energy valley shape
+	// within a grid row.
+	FrontierValleyTol float64
 }
 
 // DefaultOptions returns the calibrated engine tolerances. Worst margins
 // observed over the full 34x4 sweep (see Stats): energy-vs-truth 0.133,
 // time-vs-truth 0.162, trace integral 0.105, identity 2e-16, DVFS runtime
 // shrink 0.035 (threshold detection at lower power levels), compute-bound
-// ECC penalty 0.110 (ST).
+// ECC penalty 0.110 (ST). The dense-grid frontier margins are exactly 0
+// for regular programs over all 34 (the ground-truth surface is strictly
+// monotone and valley-shaped), so the 0.02 tolerances are pure headroom.
 func DefaultOptions() Options {
 	return Options{
 		Configs:            kepler.Configs,
@@ -97,14 +117,18 @@ func DefaultOptions() Options {
 		ECCComputeMax:      0.22,
 		DeterminismConfigs: []kepler.Clocks{kepler.Default},
 		ReplayConfigs:      kepler.Configs,
+		FrontierSpec:       defaultFrontierSpec(),
+		FrontierPrograms:   6,
+		FrontierTimeTol:    0.02,
+		FrontierValleyTol:  0.02,
 	}
 }
 
 // Violation is one failed invariant on one measured combination.
 type Violation struct {
 	// Invariant is the invariant class: "energy-conservation",
-	// "dvfs-monotonicity", "ecc-directionality", "determinism" or
-	// "replay-identity".
+	// "dvfs-monotonicity", "ecc-directionality", "determinism",
+	// "replay-identity", "dvfs-grid" or "frontier-consistency".
 	Invariant string
 	Program   string
 	Input     string
@@ -129,6 +153,8 @@ type Stats struct {
 	MaxDVFSTimeShrink    float64 // worst runtime *decrease* at a lower clock
 	MaxECCSpeedup        float64 // worst runtime decrease under ECC
 	MaxECCComputePenalty float64 // worst ECC slowdown on a compute-bound code
+	MaxFrontierTimeRise  float64 // worst in-row runtime rise on the dense grid
+	MaxFrontierValleyErr float64 // worst in-row energy-valley wiggle
 }
 
 // Report is the outcome of one verification sweep.
@@ -154,6 +180,8 @@ func (r *Report) Format(w io.Writer) {
 		r.Stats.MaxEnergyTruthErr, r.Stats.MaxTimeTruthErr, r.Stats.MaxTraceErr, r.Stats.MaxIdentityErr)
 	fmt.Fprintf(w, "  power drop at 324 >= %.3f, at 614 >= %.3f; ECC max speedup %.4f, max compute-bound penalty %.4f\n",
 		r.Stats.MinPowerDrop324, r.Stats.MinPowerDrop614, r.Stats.MaxECCSpeedup, r.Stats.MaxECCComputePenalty)
+	fmt.Fprintf(w, "  dense grid: worst in-row runtime rise %.4f, worst energy-valley wiggle %.4f\n",
+		r.Stats.MaxFrontierTimeRise, r.Stats.MaxFrontierValleyErr)
 	if r.Ok() {
 		fmt.Fprintln(w, "  all invariants hold")
 		return
@@ -203,6 +231,12 @@ func Run(ctx context.Context, r *core.Runner, programs []core.Program, opt Optio
 		rep.add(vs, n)
 		vs, n = checkECCDirectionality(p.Irregular(), byConfig, opt, &rep.Stats)
 		rep.add(vs, n)
+	}
+
+	if len(opt.FrontierSpec.MemMHz) > 0 {
+		if err := checkFrontier(ctx, r, programs, opt, rep); err != nil {
+			return nil, err
+		}
 	}
 
 	for _, clk := range opt.DeterminismConfigs {

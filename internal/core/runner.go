@@ -128,6 +128,33 @@ func (r *Runner) workerPool() *sim.WorkerPool {
 // bounded budget and never oversubscribe the machine.
 func (r *Runner) WorkerPool() *sim.WorkerPool { return r.workerPool() }
 
+// TraceClockSensitive reports whether the cached launch trace for the
+// (program, input) pair is clock-sensitive — i.e. replay across clock
+// configurations would be unsound and every configuration pays for its own
+// simulation. known is false when no completed capture exists yet (nothing
+// measured, capture in flight, or capture failed); callers that need the
+// answer should Measure the pair at one configuration first. The frontier
+// sweep uses this to route programs: insensitive traces replay across the
+// dense grid, sensitive ones get the coarse-grid + interpolation fallback.
+func (r *Runner) TraceClockSensitive(p Program, input string) (sensitive, known bool) {
+	key := p.Name() + "\x00" + input
+	r.traceMu.Lock()
+	e := r.traces[key]
+	r.traceMu.Unlock()
+	if e == nil {
+		return false, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return false, false
+	}
+	if e.trace == nil {
+		return false, false
+	}
+	return e.trace.ClockSensitive(), true
+}
+
 // traceEntry is one slot of the launch-trace cache. The first goroutine to
 // need a (program, input) pair claims the entry and simulates with capture;
 // concurrent measurements of the same pair at other configurations wait on
@@ -212,6 +239,18 @@ func (r *Runner) Measure(ctx context.Context, p Program, input string, clk keple
 		r.mu.Unlock()
 	}
 	return e.res, e.err
+}
+
+// Cached reports whether the (program, input, config) combination is
+// already resolved in the measurement cache — a hit means Measure returns
+// it without simulating. Used by cost-policy decisions (e.g. the frontier
+// sweep choosing its strategy on a warm-started cache).
+func (r *Runner) Cached(p Program, input string, clk kepler.Clocks) bool {
+	key := joinKey(p.Name(), input, clk.Name, clk.Model().Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[key]
+	return ok && e.resolved.Load()
 }
 
 // measure drives the staged pipeline: simulate once (execution is

@@ -1,0 +1,68 @@
+package frontier
+
+import "sort"
+
+// Pareto front & sweet spots over the grid's (Time, Energy) points, both
+// minimized. A point dominates another when it is no worse on both axes and
+// strictly better on at least one. The EDP and ED²P argmins provably lie on
+// the front: domination implies a strictly smaller Energy·Timeᵏ product for
+// any k ≥ 1, so a dominated point can never be an argmin (ties break to the
+// lowest index, which is also the representative the front keeps for
+// coincident points).
+
+// paretoFront returns the indices of the non-dominated measurable points,
+// sorted by ascending Time (equivalently, strictly descending Energy).
+// Coincident (Time, Energy) points are represented once, by their lowest
+// index.
+func paretoFront(points []Point) []int {
+	order := make([]int, 0, len(points))
+	for i := range points {
+		if points[i].Measurable {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := &points[order[a]], &points[order[b]]
+		if pa.Time != pb.Time {
+			return pa.Time < pb.Time
+		}
+		if pa.Energy != pb.Energy {
+			return pa.Energy < pb.Energy
+		}
+		return order[a] < order[b]
+	})
+	var front []int
+	bestEnergy := 0.0
+	for _, idx := range order {
+		if len(front) == 0 || points[idx].Energy < bestEnergy {
+			front = append(front, idx)
+			bestEnergy = points[idx].Energy
+		}
+	}
+	return front
+}
+
+// argmin returns the index of the measurable point minimizing f, ties
+// broken to the lowest index; -1 when nothing is measurable.
+func argmin(points []Point, f func(*Point) float64) int {
+	best := -1
+	for i := range points {
+		if !points[i].Measurable {
+			continue
+		}
+		if best < 0 || f(&points[i]) < f(&points[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dominates reports whether point a strictly dominates point b in the
+// (Time, Energy) minimization sense.
+func Dominates(a, b *Point) bool {
+	if !a.Measurable || !b.Measurable {
+		return false
+	}
+	return a.Time <= b.Time && a.Energy <= b.Energy &&
+		(a.Time < b.Time || a.Energy < b.Energy)
+}

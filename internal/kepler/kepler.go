@@ -102,12 +102,18 @@ var AllSettings = []Clocks{
 	{Name: "324", CoreMHz: 324, MemMHz: 324, VoltageV: 0.85},
 }
 
-// ConfigByName returns the configuration with the given name.
+// ConfigByName returns the configuration with the given name: one of the
+// canonical four, or a generated dense-grid configuration named
+// "c<core>m<mem>" (see Grid), reconstructed from the name alone so grid
+// configs round-trip through stores and service requests.
 func ConfigByName(name string) (Clocks, error) {
 	for _, c := range Configs {
 		if c.Name == name {
 			return c, nil
 		}
+	}
+	if c, ok := parseGridName(name); ok {
+		return c, nil
 	}
 	return Clocks{}, fmt.Errorf("kepler: unknown clock configuration %q", name)
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/frontier"
 	"repro/internal/k20power"
 	"repro/internal/sensor"
 	"repro/internal/stats"
@@ -247,6 +248,54 @@ func FreqSweep(w io.Writer, program string, points []core.FreqPoint) {
 		fmt.Fprintf(w, "  energy-minimal setting: %s (%.2fx energy at %.2fx runtime)\n",
 			best.Config, best.Energy, best.Time)
 	}
+}
+
+// Frontier renders one program's dense-grid DVFS frontier: sweep strategy
+// and cost, the sweet spots with their trade-off versus the paper's default
+// configuration, the Pareto front, and the budgeted optimizer's convergence.
+func Frontier(w io.Writer, res *frontier.Result) {
+	measurable := 0
+	for i := range res.Points {
+		if res.Points[i].Measurable {
+			measurable++
+		}
+	}
+	strategy := "replayed"
+	if res.Sensitive {
+		strategy = "clock-sensitive: coarse grid + interpolation"
+	}
+	fmt.Fprintf(w, "Frontier for %s (%s): %d configs, %d measurable (%d simulated, %d interpolated; %s)\n",
+		res.Program, res.Input, len(res.Points), measurable, res.Simulated(), res.Interpolated(), strategy)
+
+	var def *frontier.Point
+	if res.DefaultIdx >= 0 {
+		def = &res.Points[res.DefaultIdx]
+	}
+	fmt.Fprintf(w, "  %-9s %-10s %9s %10s %8s  %s\n", "", "config", "time [s]", "energy [J]", "EDP", "vs default (time/energy)")
+	spot := func(label string, idx int, extra string) {
+		if idx < 0 {
+			fmt.Fprintf(w, "  %-9s %-10s %9s %10s %8s\n", label, "-", "-", "-", "-")
+			return
+		}
+		pt := &res.Points[idx]
+		ratios := ""
+		if def != nil && def.Time > 0 && def.Energy > 0 {
+			ratios = fmt.Sprintf("%.2fx / %.2fx", pt.Time/def.Time, pt.Energy/def.Energy)
+		}
+		fmt.Fprintf(w, "  %-9s %-10s %9.3f %10.1f %8.1f  %s%s\n",
+			label, pt.Config.Name, pt.Time, pt.Energy, pt.EDP, ratios, extra)
+	}
+	spot("default", res.DefaultIdx, "")
+	spot("EDP", res.EDPIdx, "")
+	spot("ED2P", res.ED2PIdx, "")
+	spot("optimizer", res.Opt.BestIdx,
+		fmt.Sprintf("  (%d evals, budget %d of %d)", res.Opt.Evals, res.Opt.Budget, res.Opt.GridSize))
+
+	names := make([]string, 0, len(res.Pareto))
+	for _, idx := range res.Pareto {
+		names = append(names, res.Points[idx].Config.Name)
+	}
+	fmt.Fprintf(w, "  Pareto front (%d): %s\n", len(names), strings.Join(names, " "))
 }
 
 // Findings renders the paper's conclusions checklist.

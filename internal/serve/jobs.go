@@ -35,14 +35,21 @@ type jobView struct {
 	Done         int64  `json:"done"`
 	Canceled     int64  `json:"canceled,omitempty"`
 	Error        string `json:"error,omitempty"`
+	// Result is the job's payload once it is done (frontier jobs: the
+	// frontier summary; sweep jobs carry none — their results land in the
+	// measurement cache and are read via /v1/results).
+	Result any `json:"result,omitempty"`
 }
 
-// job is one asynchronous sweep. Progress is derived from the runner's
-// sweep counters in the observability registry: the registry's
-// sweep_jobs_done/canceled counters are cumulative across the process, so
-// the job records their values when it starts running and reports the
-// delta. Jobs execute strictly one at a time, which is what makes the
-// delta attribution exact.
+// jobProgress reports a job's cumulative process-wide (done, canceled)
+// counts; the job records the values when it starts running and reports the
+// delta. Jobs execute strictly one at a time, which is what makes the delta
+// attribution exact.
+type jobProgress func() (done, canceled int64)
+
+// job is one asynchronous sweep or frontier run. Progress is derived from
+// the runner's counters in the observability registry through the job's
+// jobProgress source.
 type job struct {
 	id string
 
@@ -54,22 +61,23 @@ type job struct {
 	startCanc int64
 	finalDone int64
 	finalCanc int64
+	result    any
 	done      chan struct{} // closed when the job reaches a terminal state
-	sweepDone *obs.Counter
-	sweepCanc *obs.Counter
+	progress  jobProgress
 }
 
 // view snapshots the job for JSON.
 func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := jobView{ID: j.id, Status: j.status, Combinations: j.combos, Error: j.err}
+	v := jobView{ID: j.id, Status: j.status, Combinations: j.combos, Error: j.err, Result: j.result}
 	switch j.status {
 	case jobQueued:
 		// No progress yet.
 	case jobRunning:
-		v.Done = j.sweepDone.Value() - j.startDone
-		v.Canceled = j.sweepCanc.Value() - j.startCanc
+		done, canc := j.progress()
+		v.Done = done - j.startDone
+		v.Canceled = canc - j.startCanc
 	default:
 		v.Done = j.finalDone
 		v.Canceled = j.finalCanc
@@ -104,19 +112,25 @@ func newJobRegistry(reg *obs.Registry) *jobRegistry {
 	}
 }
 
+// sweepProgress is the progress source for MeasureAll jobs.
+func (r *jobRegistry) sweepProgress() (int64, int64) {
+	return r.sweepDone.Value(), r.sweepCanc.Value()
+}
+
 // start registers a job and launches its executor goroutine. run is the
-// job's MeasureAll closure; ctx is the server's base context, so client
-// disconnects never abort a sweep — only shutdown does.
-func (r *jobRegistry) start(ctx context.Context, combos int, run func(context.Context) error) *job {
+// job's work closure and returns the payload published on the job view at
+// completion (nil for sweeps); progress supplies the cumulative counters the
+// job's Done/Canceled deltas are derived from. ctx is the server's base
+// context, so client disconnects never abort a job — only shutdown does.
+func (r *jobRegistry) start(ctx context.Context, combos int, progress jobProgress, run func(context.Context) (any, error)) *job {
 	r.mu.Lock()
 	r.next++
 	j := &job{
-		id:        fmt.Sprintf("job-%d", r.next),
-		status:    jobQueued,
-		combos:    int64(combos),
-		done:      make(chan struct{}),
-		sweepDone: r.sweepDone,
-		sweepCanc: r.sweepCanc,
+		id:       fmt.Sprintf("job-%d", r.next),
+		status:   jobQueued,
+		combos:   int64(combos),
+		done:     make(chan struct{}),
+		progress: progress,
 	}
 	r.jobs[j.id] = j
 	r.mu.Unlock()
@@ -127,27 +141,27 @@ func (r *jobRegistry) start(ctx context.Context, combos int, run func(context.Co
 		defer r.execMu.Unlock()
 		// A shutdown while queued cancels without running anything.
 		if ctx.Err() != nil {
-			j.finish(jobCanceled, ctx.Err(), 0, 0)
+			j.finish(jobCanceled, ctx.Err(), nil, 0, 0)
 			r.finished.Inc()
 			return
 		}
 		j.mu.Lock()
 		j.status = jobRunning
-		j.startDone = r.sweepDone.Value()
-		j.startCanc = r.sweepCanc.Value()
+		j.startDone, j.startCanc = progress()
 		startDone, startCanc := j.startDone, j.startCanc
 		j.mu.Unlock()
 
-		err := run(ctx)
-		doneDelta := r.sweepDone.Value() - startDone
-		cancDelta := r.sweepCanc.Value() - startCanc
+		result, err := run(ctx)
+		done, canc := progress()
+		doneDelta := done - startDone
+		cancDelta := canc - startCanc
 		switch {
 		case err == nil:
-			j.finish(jobDone, nil, doneDelta, cancDelta)
+			j.finish(jobDone, nil, result, doneDelta, cancDelta)
 		case ctx.Err() != nil:
-			j.finish(jobCanceled, err, doneDelta, cancDelta)
+			j.finish(jobCanceled, err, nil, doneDelta, cancDelta)
 		default:
-			j.finish(jobFailed, err, doneDelta, cancDelta)
+			j.finish(jobFailed, err, nil, doneDelta, cancDelta)
 		}
 		r.finished.Inc()
 	}()
@@ -155,13 +169,14 @@ func (r *jobRegistry) start(ctx context.Context, combos int, run func(context.Co
 }
 
 // finish moves the job to a terminal state, freezing its progress.
-func (j *job) finish(status jobStatus, err error, done, canceled int64) {
+func (j *job) finish(status jobStatus, err error, result any, done, canceled int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.status = status
 	if err != nil {
 		j.err = err.Error()
 	}
+	j.result = result
 	j.finalDone = done
 	j.finalCanc = canceled
 	close(j.done)

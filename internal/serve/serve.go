@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/frontier"
 	"repro/internal/k20power"
 	"repro/internal/kepler"
 	"repro/internal/obs"
@@ -105,7 +106,7 @@ type serviceMetrics struct {
 }
 
 // routes lists the instrumented endpoint names.
-var routes = []string{"measure", "sweep", "jobs", "results", "metrics", "healthz"}
+var routes = []string{"measure", "sweep", "frontier", "jobs", "results", "metrics", "healthz"}
 
 // New builds the service and, when cfg.StorePath names an existing store,
 // warm-starts the runner cache from it. A missing store file is a cold
@@ -161,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/measure", s.instrument("measure", s.handleMeasure))
 	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("POST /v1/frontier", s.instrument("frontier", s.handleFrontier))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	mux.Handle("GET /v1/results", s.instrument("results", s.handleResults))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -468,8 +470,143 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		combos += inputs * len(configs)
 	}
-	j := s.jobs.start(s.baseCtx, combos, func(ctx context.Context) error {
-		return s.runner.MeasureAll(ctx, programs, configs, req.AllInputs)
+	j := s.jobs.start(s.baseCtx, combos, s.jobs.sweepProgress, func(ctx context.Context) (any, error) {
+		return nil, s.runner.MeasureAll(ctx, programs, configs, req.AllInputs)
+	})
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// frontierRequest is the POST /v1/frontier body.
+type frontierRequest struct {
+	Program string `json:"program"`
+	// Input defaults to the program's default input when empty.
+	Input string `json:"input,omitempty"`
+	// Spec overrides the dense DVFS grid; nil uses kepler.DefaultGridSpec.
+	Spec *kepler.GridSpec `json:"spec,omitempty"`
+}
+
+// frontierPointView is one grid configuration in the frontier summary.
+type frontierPointView struct {
+	Config       string  `json:"config"`
+	CoreMHz      int     `json:"coreMHz"`
+	MemMHz       int     `json:"memMHz"`
+	Time         float64 `json:"time"`
+	Energy       float64 `json:"energy"`
+	Power        float64 `json:"power"`
+	EDP          float64 `json:"edp"`
+	ED2P         float64 `json:"ed2p"`
+	Interpolated bool    `json:"interpolated,omitempty"`
+}
+
+// frontierSummary is the frontier job's result payload.
+type frontierSummary struct {
+	Program      string `json:"program"`
+	Input        string `json:"input"`
+	Sensitive    bool   `json:"sensitive"`
+	GridConfigs  int    `json:"gridConfigs"`
+	Measurable   int    `json:"measurable"`
+	Simulated    int    `json:"simulated"`
+	Interpolated int    `json:"interpolated"`
+
+	Default *frontierPointView `json:"default,omitempty"`
+	EDP     *frontierPointView `json:"edpSweetSpot,omitempty"`
+	ED2P    *frontierPointView `json:"ed2pSweetSpot,omitempty"`
+	// Pareto lists the non-dominated configurations by ascending runtime.
+	Pareto []string `json:"pareto"`
+
+	Optimizer struct {
+		Best   string `json:"best,omitempty"`
+		Evals  int    `json:"evals"`
+		Budget int    `json:"budget"`
+	} `json:"optimizer"`
+}
+
+func frontierPoint(res *frontier.Result, idx int) *frontierPointView {
+	if idx < 0 {
+		return nil
+	}
+	pt := &res.Points[idx]
+	return &frontierPointView{
+		Config: pt.Config.Name, CoreMHz: pt.Config.CoreMHz, MemMHz: pt.Config.MemMHz,
+		Time: pt.Time, Energy: pt.Energy, Power: pt.Power,
+		EDP: pt.EDP, ED2P: pt.ED2P, Interpolated: pt.Interpolated,
+	}
+}
+
+func summarizeFrontier(res *frontier.Result) *frontierSummary {
+	sum := &frontierSummary{
+		Program:      res.Program,
+		Input:        res.Input,
+		Sensitive:    res.Sensitive,
+		GridConfigs:  len(res.Points),
+		Simulated:    res.Simulated(),
+		Interpolated: res.Interpolated(),
+		Default:      frontierPoint(res, res.DefaultIdx),
+		EDP:          frontierPoint(res, res.EDPIdx),
+		ED2P:         frontierPoint(res, res.ED2PIdx),
+		Pareto:       make([]string, 0, len(res.Pareto)),
+	}
+	for i := range res.Points {
+		if res.Points[i].Measurable {
+			sum.Measurable++
+		}
+	}
+	for _, idx := range res.Pareto {
+		sum.Pareto = append(sum.Pareto, res.Points[idx].Config.Name)
+	}
+	if res.Opt.BestIdx >= 0 {
+		sum.Optimizer.Best = res.Points[res.Opt.BestIdx].Config.Name
+	}
+	sum.Optimizer.Evals = res.Opt.Evals
+	sum.Optimizer.Budget = res.Opt.Budget
+	return sum
+}
+
+// handleFrontier starts an asynchronous dense-grid frontier job for one
+// program. Validation mirrors the rest of the API — unknown names and
+// malformed bodies are 400; a structurally valid but physically impossible
+// grid spec (inverted bounds, zero step, oversized grid) is 422, the same
+// class as the paper's unprocessable-measurement responses. Progress is the
+// replayed + interpolated grid-point count from the obs registry; the
+// completed job's view carries the frontier summary.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	var req frontierRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, ok := s.programs[req.Program]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown program %q", req.Program))
+		return
+	}
+	input := req.Input
+	if input == "" {
+		input = p.DefaultInput()
+	} else if _, _, _, err := s.resolve(req.Program, input, ""); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec := kepler.DefaultGridSpec()
+	if req.Spec != nil {
+		spec = *req.Spec
+	}
+	grid, err := kepler.Grid(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	reg := s.runner.Metrics()
+	replays := reg.Counter("frontier_replays")
+	interp := reg.Counter("frontier_interpolated")
+	progress := func() (int64, int64) { return replays.Value() + interp.Value(), 0 }
+	j := s.jobs.start(s.baseCtx, len(grid), progress, func(ctx context.Context) (any, error) {
+		res, err := frontier.Sweep(ctx, s.runner, p, frontier.Options{Spec: spec, Input: input})
+		if err != nil {
+			return nil, err
+		}
+		return summarizeFrontier(res), nil
 	})
 	writeJSON(w, http.StatusAccepted, j.view())
 }

@@ -12,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT=${1:-BENCH_sweep.json}
-BENCHES='BenchmarkColdSweep$|BenchmarkColdSweepNoReplay$|BenchmarkSimulatorThroughput$|BenchmarkReplaySweep$'
+BENCHES='BenchmarkColdSweep$|BenchmarkColdSweepNoReplay$|BenchmarkSimulatorThroughput$|BenchmarkReplaySweep$|BenchmarkFrontierGridReplay$'
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -32,6 +32,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v defprocs="${GOMAXPROCS:-$(nproc)
     }
     for (i = 2; i < NF; i++) {
         if ($(i + 1) == "ns/op") { ns[name] = $i }
+        if ($(i + 1) == "replays/op") { replays[name] = $i }
     }
     raw[++n] = $0
 }
@@ -60,6 +61,11 @@ END {
     cold = ns["BenchmarkColdSweep"]; base = ns["BenchmarkColdSweepNoReplay"]
     if (cold > 0 && base > 0) {
         printf "  \"replay_speedup\": %.3f,\n", base / cold
+    }
+    # Dense-grid frontier throughput: replays per second at ~100-config scale.
+    fns = ns["BenchmarkFrontierGridReplay"]; frep = replays["BenchmarkFrontierGridReplay"]
+    if (fns > 0 && frep > 0) {
+        printf "  \"frontier_replays_per_sec\": %.1f,\n", frep / (fns / 1e9)
     }
     printf "  \"benchstat_lines\": [\n"
     for (i = 1; i <= n; i++) {
