@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke bench lint-launch ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke device-smoke bench lint-launch lint-device ci
 
 all: ci
 
@@ -77,4 +77,17 @@ bench:
 lint-launch:
 	./scripts/lint_launch.sh
 
-ci: vet lint-launch build race test fuzz
+# Device-description lint: no removed hard-wired K20c constant referenced as
+# a kepler selector outside the device package (see scripts/lint_device.sh).
+lint-device:
+	./scripts/lint_device.sh
+
+# Cross-device smoke: the three shipped profiles (K20c, GTX1080, JetsonTX2)
+# measure one n-body program and the comparison table must match the
+# checked-in expectation byte for byte. Mirrors the CI device-smoke job.
+device-smoke:
+	$(GO) build -o /tmp/gpuchar-device ./cmd/gpuchar
+	/tmp/gpuchar-device -exp devices -programs NB -reps 1 >/tmp/gpuchar-device-smoke.txt
+	cmp internal/check/testdata/device_smoke_NB.txt /tmp/gpuchar-device-smoke.txt
+
+ci: vet lint-launch lint-device build race test fuzz

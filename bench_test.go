@@ -61,7 +61,7 @@ func BenchmarkTable1Inventory(b *testing.B) {
 func BenchmarkTable2Variability(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Table2(context.Background(), benchRunner, benchProgs)
+		rows, err := core.Table2(context.Background(), benchRunner, benchProgs, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,11 +145,11 @@ func BenchmarkTable3Variants(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		rows, _, err := core.Table3(context.Background(), benchRunner, lbfs, suites.LBFSVariants(), "usa")
+		rows, _, err := core.Table3(context.Background(), benchRunner, lbfs, suites.LBFSVariants(), "usa", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rows2, _, err := core.Table3(context.Background(), benchRunner, sssp, suites.SSSPVariants(), "usa")
+		rows2, _, err := core.Table3(context.Background(), benchRunner, sssp, suites.SSSPVariants(), "usa", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func BenchmarkTable3Variants(b *testing.B) {
 func BenchmarkTable4BFSCross(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Table4(context.Background(), benchRunner, suites.BFSCross())
+		rows, err := core.Table4(context.Background(), benchRunner, suites.BFSCross(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func BenchmarkTable4BFSCross(b *testing.B) {
 func BenchmarkFigure5Inputs(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Figure5(context.Background(), benchRunner, benchProgs)
+		rows, err := core.Figure5(context.Background(), benchRunner, benchProgs, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +191,7 @@ func BenchmarkFigure5Inputs(b *testing.B) {
 func BenchmarkFigure6PowerRange(b *testing.B) {
 	benchSetup()
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Figure6(context.Background(), benchRunner, benchProgs)
+		rows, err := core.Figure6(context.Background(), benchRunner, benchProgs, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,7 +9,15 @@
 //	gpuchar -exp fig2 -reps 3
 //	gpuchar -exp all -store sweep.json -timeout 10m -metrics
 //	gpuchar -exp frontier -reps 1    # dense DVFS grid: EDP/ED²P sweet spots, Pareto fronts
+//	gpuchar -exp devices  # same programs on every GPU profile, side by side
+//	gpuchar -device GTX1080 -exp table2,fig2    # the battery on another profile
 //	gpuchar -selfcheck    # physics-invariant verification sweep (internal/check)
+//	gpuchar -selfcheck -device JetsonTX2    # invariants on another profile
+//
+// -device selects the GPU profile (see internal/kepler/devices); the default
+// is the paper's K20c. Every experiment then reads its operating points from
+// that device's canonical ladder. 'devices' always compares the three
+// representative profiles regardless of -device.
 //
 // The sweep is cancelable: SIGINT (and -timeout) cancel the measurement
 // context, in-flight simulations abort at the next thread-block boundary,
@@ -40,7 +48,9 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'; 'frontier' (dense DVFS grid) runs only when requested explicitly")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'; 'frontier' (dense DVFS grid) and 'devices' (cross-profile comparison) run only when requested explicitly")
+		device    = flag.String("device", "", "GPU profile the experiments run on (empty = the paper's K20c); see internal/kepler/devices for the known profiles")
+		progFlag  = flag.String("programs", "", "comma-separated program names to restrict the sweep to (empty = all 34)")
 		reps      = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
 		store     = flag.String("store", "", "measurement cache file: loaded if present, saved on exit (also on failure, timeout and SIGINT)")
 		selfcheck = flag.Bool("selfcheck", false, "run the physics-invariant verification sweep instead of the experiments; exit 1 on any violation")
@@ -50,6 +60,12 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "dump pipeline metrics (stage timings, cache counters, pool utilization) as JSON to stderr at exit")
 	)
 	flag.Parse()
+
+	dev, err := kepler.DeviceByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpuchar:", err)
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM cancel the sweep gracefully: queued jobs stop before
 	// starting, running simulations abort at the next block boundary, and
@@ -73,7 +89,7 @@ func main() {
 		}
 	}
 
-	err := run(ctx, runner, os.Stdout, *expFlag, *selfcheck)
+	err = run(ctx, runner, os.Stdout, *expFlag, *progFlag, *selfcheck, dev)
 
 	// Save on every path — success, failure, timeout, interrupt — so no
 	// already-computed measurement is ever lost to an aborted sweep.
@@ -109,14 +125,31 @@ func main() {
 // violations (reported on stdout already).
 var errViolations = errors.New("selfcheck found invariant violations")
 
-// run executes the requested experiments (or the selfcheck sweep) and
-// returns instead of exiting, so main can always save the store and dump
-// metrics afterwards.
-func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string, selfcheck bool) error {
+// run executes the requested experiments (or the selfcheck sweep) on the
+// given device profile and returns instead of exiting, so main can always
+// save the store and dump metrics afterwards.
+func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag, progFlag string, selfcheck bool, dev *kepler.Device) error {
 	programs := suites.All()
+	if progFlag != "" {
+		programs = programs[:0]
+		for _, name := range strings.Split(progFlag, ",") {
+			p, err := suites.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			programs = append(programs, p)
+		}
+	}
 
 	if selfcheck {
-		rep, err := check.Run(ctx, runner, programs, check.DefaultOptions())
+		// The K20c keeps the historical selfcheck options (and their golden
+		// pinning); other profiles derive the equivalent device-independent
+		// sweep from their own ladder.
+		opt := check.DefaultOptions()
+		if dev.Name != "K20c" {
+			opt = check.DeviceOptions(dev)
+		}
+		rep, err := check.Run(ctx, runner, programs, opt)
 		if err != nil {
 			return err
 		}
@@ -126,6 +159,8 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		}
 		return nil
 	}
+
+	cfgs := dev.Configurations()
 
 	want := map[string]bool{}
 	if expFlag == "all" {
@@ -143,12 +178,12 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 	// (all Figure 5 needs). The experiments below then assemble their
 	// tables from cached results.
 	if len(want) > 1 || want["fig2"] || want["fig3"] || want["fig4"] || want["fig6"] {
-		if err := runner.MeasureAll(ctx, programs, kepler.Configs, false); err != nil {
+		if err := runner.MeasureAll(ctx, programs, cfgs, false); err != nil {
 			return err
 		}
 	}
 	if want["fig5"] {
-		if err := runner.MeasureAll(ctx, programs, []kepler.Clocks{kepler.Default}, true); err != nil {
+		if err := runner.MeasureAll(ctx, programs, []kepler.Clocks{cfgs[0]}, true); err != nil {
 			return err
 		}
 	}
@@ -161,7 +196,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		if err != nil {
 			return err
 		}
-		if err := runner.MeasureAll(ctx, append(suites.Variants(), lbfs, sssp), kepler.Configs, false); err != nil {
+		if err := runner.MeasureAll(ctx, append(suites.Variants(), lbfs, sssp), cfgs, false); err != nil {
 			return err
 		}
 	}
@@ -171,7 +206,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["table2"] {
-		rows, err := core.Table2(ctx, runner, programs)
+		rows, err := core.Table2(ctx, runner, programs, dev)
 		if err != nil {
 			return err
 		}
@@ -183,7 +218,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		if err != nil {
 			return err
 		}
-		samples, m, err := core.Profile(ctx, p, "3000", kepler.Default, 7)
+		samples, m, err := core.Profile(ctx, p, "3000", cfgs[0], 7)
 		if err != nil {
 			return fmt.Errorf("fig1 profile: %w", err)
 		}
@@ -191,7 +226,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["fig2"] {
-		rows, err := core.FigureRatios(ctx, runner, programs, kepler.Default, kepler.F614)
+		rows, err := core.FigureRatios(ctx, runner, programs, cfgs[0], cfgs[1])
 		if err != nil {
 			return err
 		}
@@ -200,7 +235,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["fig3"] {
-		rows, err := core.FigureRatios(ctx, runner, programs, kepler.F614, kepler.F324)
+		rows, err := core.FigureRatios(ctx, runner, programs, cfgs[1], cfgs[2])
 		if err != nil {
 			return err
 		}
@@ -209,7 +244,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["fig4"] {
-		rows, err := core.FigureRatios(ctx, runner, programs, kepler.Default, kepler.ECCDefault)
+		rows, err := core.FigureRatios(ctx, runner, programs, cfgs[0], cfgs[3])
 		if err != nil {
 			return err
 		}
@@ -222,7 +257,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		if err != nil {
 			return err
 		}
-		rows, excluded, err := core.Table3(ctx, runner, lbfs, suites.LBFSVariants(), "usa")
+		rows, excluded, err := core.Table3(ctx, runner, lbfs, suites.LBFSVariants(), "usa", dev)
 		if err != nil {
 			return err
 		}
@@ -230,7 +265,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		if err != nil {
 			return err
 		}
-		rows2, excl2, err := core.Table3(ctx, runner, sssp, suites.SSSPVariants(), "usa")
+		rows2, excl2, err := core.Table3(ctx, runner, sssp, suites.SSSPVariants(), "usa", dev)
 		if err != nil {
 			return err
 		}
@@ -238,7 +273,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["table4"] {
-		rows, err := core.Table4(ctx, runner, suites.BFSCross())
+		rows, err := core.Table4(ctx, runner, suites.BFSCross(), dev)
 		if err != nil {
 			return err
 		}
@@ -246,7 +281,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["fig5"] {
-		rows, err := core.Figure5(ctx, runner, programs)
+		rows, err := core.Figure5(ctx, runner, programs, dev)
 		if err != nil {
 			return err
 		}
@@ -254,7 +289,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["fig6"] {
-		rows, err := core.Figure6(ctx, runner, programs)
+		rows, err := core.Figure6(ctx, runner, programs, dev)
 		if err != nil {
 			return err
 		}
@@ -262,7 +297,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["classify"] {
-		classes, err := core.Classify(ctx, runner, programs)
+		classes, err := core.Classify(ctx, runner, programs, dev)
 		if err != nil {
 			return err
 		}
@@ -270,7 +305,7 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 		fmt.Fprintln(out)
 	}
 	if want["findings"] {
-		findings, err := core.VerifyFindings(ctx, runner, programs, suites.LBFSVariants(), suites.SSSPVariants())
+		findings, err := core.VerifyFindings(ctx, runner, programs, suites.LBFSVariants(), suites.SSSPVariants(), dev)
 		if err != nil {
 			return err
 		}
@@ -283,11 +318,11 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 			if err != nil {
 				return err
 			}
-			points, err := core.FreqSweep(ctx, runner, p)
+			points, err := core.FreqSweep(ctx, runner, p, dev)
 			if err != nil {
 				return err
 			}
-			report.FreqSweep(out, p.Name(), points)
+			report.FreqSweep(out, p.Name(), cfgs[0], points)
 		}
 		fmt.Fprintln(out)
 	}
@@ -295,13 +330,25 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag string
 	// ~25x the paper's configuration count, and keeping it out preserves the
 	// byte-identical stdout of the existing experiment set.
 	if want["frontier"] {
-		results, err := frontier.SweepAll(ctx, runner, programs, frontier.Options{})
+		results, err := frontier.SweepAll(ctx, runner, programs, frontier.Options{Device: dev})
 		if err != nil {
 			return err
 		}
 		for _, res := range results {
 			report.Frontier(out, res)
 		}
+		fmt.Fprintln(out)
+	}
+	// The cross-device comparison is likewise NOT part of 'all': it measures
+	// every program on all three representative profiles (K20c, Pascal-class,
+	// Jetson-class), and the 'all' battery is pinned to the selected device's
+	// output alone.
+	if want["devices"] {
+		rows, err := core.DeviceCompare(ctx, runner, programs, kepler.Profiles())
+		if err != nil {
+			return err
+		}
+		report.DeviceCompare(out, rows)
 		fmt.Fprintln(out)
 	}
 	if want["crossgpu"] {

@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, excluded, err := core.Table3(ctx, runner, lbfs, suites.LBFSVariants(), "usa")
+	rows, excluded, err := core.Table3(ctx, runner, lbfs, suites.LBFSVariants(), "usa", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,14 +33,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows2, excl2, err := core.Table3(ctx, runner, sssp, suites.SSSPVariants(), "usa")
+	rows2, excl2, err := core.Table3(ctx, runner, sssp, suites.SSSPVariants(), "usa", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report.Table3(os.Stdout, append(rows, rows2...), append(excluded, excl2...))
 
 	fmt.Println()
-	t4, err := core.Table4(ctx, runner, suites.BFSCross())
+	t4, err := core.Table4(ctx, runner, suites.BFSCross(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

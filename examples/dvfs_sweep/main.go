@@ -67,11 +67,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	points, err := core.FreqSweep(ctx, runner, nb)
+	points, err := core.FreqSweep(ctx, runner, nb, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report.FreqSweep(os.Stdout, nb.Name(), points)
+	report.FreqSweep(os.Stdout, nb.Name(), kepler.Default, points)
 	fmt.Println()
 
 	fmt.Println("Expected shape (paper sections V.A.1-2): the compute-bound code")

@@ -52,8 +52,12 @@ import (
 // worst observed margin, so real regressions trip them while sensor noise
 // and run-to-run jitter do not.
 type Options struct {
-	// Configs are the clock configurations to sweep (default: the paper's
-	// four). The first entry is treated as the baseline ("default" clocks).
+	// Device is the GPU profile the sweep runs on; nil means the K20c (or,
+	// when Configs is set, the device its first configuration belongs to).
+	Device *kepler.Device
+	// Configs are the clock configurations to sweep (default: the device's
+	// four canonical ones). The first entry is treated as the baseline
+	// ("default" clocks).
 	Configs []kepler.Clocks
 
 	// EnergyTruthTol bounds |Energy/TrueEnergy - 1| of each result.
@@ -122,6 +126,22 @@ func DefaultOptions() Options {
 		FrontierTimeTol:    0.02,
 		FrontierValleyTol:  0.02,
 	}
+}
+
+// DeviceOptions returns the engine tolerances for an arbitrary device
+// profile. The bounds are the same calibrated ones as DefaultOptions — the
+// invariant classes are device-independent physics (energy conservation,
+// DVFS monotonicity and ECC directionality hold on any profile) — while the
+// configuration sets and the frontier grid come from the device's own DVFS
+// ladder.
+func DeviceOptions(dev *kepler.Device) Options {
+	opt := DefaultOptions()
+	opt.Device = dev
+	opt.Configs = dev.Configurations()
+	opt.DeterminismConfigs = []kepler.Clocks{dev.DefaultConfig()}
+	opt.ReplayConfigs = dev.Configurations()
+	opt.FrontierSpec = deviceFrontierSpec(dev)
+	return opt
 }
 
 // Violation is one failed invariant on one measured combination.
@@ -197,8 +217,15 @@ func (r *Report) Format(w io.Writer) {
 // errors, not sample insufficiency) abort with an error; physics
 // inconsistencies are returned as violations in the report.
 func Run(ctx context.Context, r *core.Runner, programs []core.Program, opt Options) (*Report, error) {
+	if opt.Device == nil {
+		if len(opt.Configs) > 0 {
+			opt.Device = opt.Configs[0].Device()
+		} else {
+			opt.Device = kepler.K20cDevice()
+		}
+	}
 	if len(opt.Configs) == 0 {
-		opt.Configs = kepler.Configs
+		opt.Configs = opt.Device.Configurations()
 	}
 	r.KeepTraces = true
 	if err := r.MeasureAll(ctx, programs, opt.Configs, false); err != nil {
@@ -274,15 +301,20 @@ func (r *Report) add(vs []Violation, n int) {
 }
 
 // coreSensitivity derives the program's core-clock sensitivity exactly like
-// core.Classify: the runtime increase at 614 relative to the ~13% frequency
-// drop. NaN when either configuration is unmeasurable.
-func coreSensitivity(byConfig map[string]*core.Result) float64 {
+// core.Classify: the runtime increase at the 614-role clock relative to the
+// device's ~13% frequency drop. NaN when either configuration is
+// unmeasurable.
+func coreSensitivity(byConfig map[string]*core.Result, dev *kepler.Device) float64 {
+	if dev == nil {
+		dev = kepler.K20cDevice()
+	}
 	def, ok1 := byConfig[kepler.Default.Name]
 	f614, ok2 := byConfig[kepler.F614.Name]
 	if !ok1 || !ok2 {
 		return math.NaN()
 	}
-	freqDrop := float64(kepler.Default.CoreMHz)/float64(kepler.F614.CoreMHz) - 1
+	cfgs := dev.Configurations()
+	freqDrop := float64(cfgs[0].CoreMHz)/float64(cfgs[1].CoreMHz) - 1
 	return (f614.ActiveTime/def.ActiveTime - 1) / freqDrop
 }
 
@@ -497,7 +529,7 @@ func checkECCDirectionality(irregular bool, byConfig map[string]*core.Result, op
 				100*esave, def.Energy, ecc.Energy)
 		}
 	}
-	sens := coreSensitivity(byConfig)
+	sens := coreSensitivity(byConfig, opt.Device)
 	if !irregular && !math.IsNaN(sens) && sens >= opt.ComputeBoundMin {
 		n++
 		penalty := ecc.ActiveTime/def.ActiveTime - 1

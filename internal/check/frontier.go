@@ -51,7 +51,7 @@ func frontierPrograms(programs []core.Program, n int) []core.Program {
 func checkFrontier(ctx context.Context, r *core.Runner, programs []core.Program, opt Options, rep *Report) error {
 	subset := frontierPrograms(programs, opt.FrontierPrograms)
 	for _, p := range subset {
-		res, err := frontier.Sweep(ctx, r, p, frontier.Options{Spec: opt.FrontierSpec})
+		res, err := frontier.Sweep(ctx, r, p, frontier.Options{Device: opt.Device, Spec: opt.FrontierSpec})
 		if err != nil {
 			return fmt.Errorf("check: frontier sweep %s: %w", p.Name(), err)
 		}
@@ -174,15 +174,27 @@ func checkFrontierConsistency(res *frontier.Result) ([]Violation, int) {
 	return vs, n
 }
 
-// defaultFrontierSpec is the selfcheck grid: 8 core clocks spanning the
+// defaultFrontierSpec is the K20c selfcheck grid: 8 core clocks spanning the
 // full range crossed with the extreme memory clocks — enough rows and
 // resolution to exercise both invariant shapes at a fraction of the dense
 // grid's sweep cost.
 func defaultFrontierSpec() kepler.GridSpec {
-	return kepler.GridSpec{
-		CoreMinMHz:  324,
-		CoreMaxMHz:  758,
-		CoreStepMHz: 62,
-		MemMHz:      []int{2600, 324},
+	return deviceFrontierSpec(kepler.K20cDevice())
+}
+
+// deviceFrontierSpec reduces a device's default dense grid to the selfcheck
+// resolution: ~8 core clocks spanning the device's full ladder range crossed
+// with its extreme memory clocks. On the K20c this reproduces the historical
+// 324..758-by-62 x {2600, 324} grid exactly.
+func deviceFrontierSpec(dev *kepler.Device) kepler.GridSpec {
+	spec := dev.DefaultGrid()
+	step := (spec.CoreMaxMHz - spec.CoreMinMHz) / 7
+	if step < 1 {
+		step = 1
 	}
+	spec.CoreStepMHz = step
+	if len(spec.MemMHz) > 2 {
+		spec.MemMHz = []int{spec.MemMHz[0], spec.MemMHz[len(spec.MemMHz)-1]}
+	}
+	return spec
 }

@@ -37,13 +37,16 @@ type Class struct {
 	Measurable324 bool
 }
 
-// Classify measures each program at the four configurations and derives its
-// behavioural class. Programs that cannot be measured at the default
-// configuration are skipped.
-func Classify(ctx context.Context, r *Runner, programs []Program) ([]Class, error) {
+// Classify measures each program at the device's four canonical
+// configurations and derives its behavioural class. Programs that cannot be
+// measured at the default configuration are skipped. A nil dev selects the
+// paper's K20c.
+func Classify(ctx context.Context, r *Runner, programs []Program, dev *kepler.Device) ([]Class, error) {
+	cfgs := deviceOrK20c(dev).Configurations()
+	cDef, c614, c324, cECC := cfgs[0], cfgs[1], cfgs[2], cfgs[3]
 	var out []Class
 	for _, p := range programs {
-		def, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
+		def, err := r.Measure(ctx, p, p.DefaultInput(), cDef)
 		if err != nil {
 			if IsInsufficient(err) {
 				continue
@@ -56,22 +59,23 @@ func Classify(ctx context.Context, r *Runner, programs []Program) ([]Class, erro
 			AvgPowerW: def.AvgPower,
 			Irregular: p.Irregular(),
 		}
-		freqDrop := float64(kepler.Default.CoreMHz)/float64(kepler.F614.CoreMHz) - 1 // ~0.148
-		if f614, err := r.Measure(ctx, p, p.DefaultInput(), kepler.F614); err == nil {
+		freqDrop := float64(cDef.CoreMHz)/float64(c614.CoreMHz) - 1 // ~0.148 on the K20c
+		if f614, err := r.Measure(ctx, p, p.DefaultInput(), c614); err == nil {
 			c.CoreSensitivity = (f614.ActiveTime/def.ActiveTime - 1) / freqDrop
 		} else if !IsInsufficient(err) {
 			return nil, err
 		}
-		if f324, err := r.Measure(ctx, p, p.DefaultInput(), kepler.F324); err == nil {
+		if f324, err := r.Measure(ctx, p, p.DefaultInput(), c324); err == nil {
 			c.Measurable324 = true
-			// Total 324 slowdown, minus what the core clock alone explains.
-			coreShare := 1 + c.CoreSensitivity*(float64(kepler.Default.CoreMHz)/324-1)
+			// Total 324-analogue slowdown, minus what the core clock alone
+			// explains.
+			coreShare := 1 + c.CoreSensitivity*(float64(cDef.CoreMHz)/float64(c324.CoreMHz)-1)
 			total := f324.ActiveTime / def.ActiveTime
-			c.MemSensitivity = (total - coreShare) / (float64(kepler.Default.MemMHz)/324 - 1) * 2
+			c.MemSensitivity = (total - coreShare) / (float64(cDef.MemMHz)/float64(c324.MemMHz) - 1) * 2
 		} else if !IsInsufficient(err) {
 			return nil, err
 		}
-		if ecc, err := r.Measure(ctx, p, p.DefaultInput(), kepler.ECCDefault); err == nil {
+		if ecc, err := r.Measure(ctx, p, p.DefaultInput(), cECC); err == nil {
 			c.ECCSlowdown = ecc.ActiveTime/def.ActiveTime - 1
 		} else if !IsInsufficient(err) {
 			return nil, err

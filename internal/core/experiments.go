@@ -21,6 +21,17 @@ type Table1Row struct {
 	Inputs  []string
 }
 
+// deviceOrK20c resolves the experiments' optional device parameter: nil
+// selects the paper's K20c, anything else is used as given. Experiments read
+// operating points from the device's canonical ladder (role order default,
+// 614-analogue, 324-analogue, ECC), so the same battery runs on any profile.
+func deviceOrK20c(dev *kepler.Device) *kepler.Device {
+	if dev == nil {
+		return kepler.K20cDevice()
+	}
+	return dev
+}
+
 // Table1 builds the program inventory.
 func Table1(programs []Program) []Table1Row {
 	rows := make([]Table1Row, 0, len(programs))
@@ -38,12 +49,14 @@ type Table2Row struct {
 	Programs                               int
 }
 
-// Table2 measures every program at the default configuration and aggregates
-// the repetition spreads per suite, plus an overall row (Suite "Overall").
-func Table2(ctx context.Context, r *Runner, programs []Program) ([]Table2Row, error) {
+// Table2 measures every program at the device's default configuration and
+// aggregates the repetition spreads per suite, plus an overall row (Suite
+// "Overall"). A nil dev selects the paper's K20c.
+func Table2(ctx context.Context, r *Runner, programs []Program, dev *kepler.Device) ([]Table2Row, error) {
+	def := deviceOrK20c(dev).DefaultConfig()
 	perSuite := map[Suite][]*Result{}
 	for _, p := range programs {
-		res, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
+		res, err := r.Measure(ctx, p, p.DefaultInput(), def)
 		if err != nil {
 			if IsInsufficient(err) {
 				continue
@@ -175,11 +188,12 @@ type Table3Row struct {
 // one input across all four configurations. Variants that cannot be
 // measured (insufficient samples) are reported with zero ratios and listed
 // in the returned exclusions, mirroring the paper's wlw/wlc BFS footnote.
-func Table3(ctx context.Context, r *Runner, base Program, variants []Program, input string) ([]Table3Row, []string, error) {
+// A nil dev selects the paper's K20c.
+func Table3(ctx context.Context, r *Runner, base Program, variants []Program, input string, dev *kepler.Device) ([]Table3Row, []string, error) {
 	var rows []Table3Row
 	var excluded []string
 	for _, v := range variants {
-		for _, clk := range kepler.Configs {
+		for _, clk := range deviceOrK20c(dev).Configurations() {
 			b, err := r.Measure(ctx, base, input, clk)
 			if err != nil {
 				return nil, nil, fmt.Errorf("base %s: %w", base.Name(), err)
@@ -219,17 +233,18 @@ type Table4Row struct {
 	Vertices, Edges                 int64
 }
 
-// Table4 compares BFS implementations across suites at the default
+// Table4 compares BFS implementations across suites at the device's default
 // configuration, normalizing by processed items. Programs must implement
-// ItemCounts.
-func Table4(ctx context.Context, r *Runner, bfs []Program) ([]Table4Row, error) {
+// ItemCounts. A nil dev selects the paper's K20c.
+func Table4(ctx context.Context, r *Runner, bfs []Program, dev *kepler.Device) ([]Table4Row, error) {
+	def := deviceOrK20c(dev).DefaultConfig()
 	var rows []Table4Row
 	for _, p := range bfs {
 		ic, ok := p.(ItemCounts)
 		if !ok {
 			return nil, fmt.Errorf("%s does not report item counts", p.Name())
 		}
-		res, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
+		res, err := r.Measure(ctx, p, p.DefaultInput(), def)
 		if err != nil {
 			return nil, err
 		}
@@ -262,9 +277,11 @@ type Fig5Row struct {
 	Power    float64 // power(to)/power(from)
 }
 
-// Figure5 measures every program with at least two inputs at the default
-// configuration and reports the power ratio of each input step.
-func Figure5(ctx context.Context, r *Runner, programs []Program) ([]Fig5Row, error) {
+// Figure5 measures every program with at least two inputs at the device's
+// default configuration and reports the power ratio of each input step.
+// A nil dev selects the paper's K20c.
+func Figure5(ctx context.Context, r *Runner, programs []Program, dev *kepler.Device) ([]Fig5Row, error) {
+	def := deviceOrK20c(dev).DefaultConfig()
 	var rows []Fig5Row
 	for _, p := range programs {
 		inputs := p.Inputs()
@@ -272,14 +289,14 @@ func Figure5(ctx context.Context, r *Runner, programs []Program) ([]Fig5Row, err
 			continue
 		}
 		for i := 1; i < len(inputs); i++ {
-			a, err := r.Measure(ctx, p, inputs[i-1], kepler.Default)
+			a, err := r.Measure(ctx, p, inputs[i-1], def)
 			if err != nil {
 				if IsInsufficient(err) {
 					continue
 				}
 				return nil, err
 			}
-			b, err := r.Measure(ctx, p, inputs[i], kepler.Default)
+			b, err := r.Measure(ctx, p, inputs[i], def)
 			if err != nil {
 				if IsInsufficient(err) {
 					continue
@@ -307,12 +324,14 @@ type Fig6Row struct {
 	Programs []string
 }
 
-// Figure6 measures every program at every configuration and reports the
-// absolute power ranges per suite.
-func Figure6(ctx context.Context, r *Runner, programs []Program) ([]Fig6Row, error) {
+// Figure6 measures every program at every canonical configuration of the
+// device and reports the absolute power ranges per suite. A nil dev selects
+// the paper's K20c.
+func Figure6(ctx context.Context, r *Runner, programs []Program, dev *kepler.Device) ([]Fig6Row, error) {
+	cfgs := deviceOrK20c(dev).Configurations()
 	var rows []Fig6Row
 	for _, s := range Suites {
-		for _, clk := range kepler.Configs {
+		for _, clk := range cfgs {
 			var ps []float64
 			var names []string
 			for _, p := range programs {
@@ -339,15 +358,23 @@ func Figure6(ctx context.Context, r *Runner, programs []Program) ([]Fig6Row, err
 }
 
 // Profile runs a program once and returns the raw sensor samples plus the
-// K20Power analysis — the paper's Figure 1 view.
+// K20Power analysis — the paper's Figure 1 view. The sensor and analysis
+// models come from the configuration's device description.
 func Profile(ctx context.Context, p Program, input string, clk kepler.Clocks, seed uint64) ([]sensor.Sample, k20power.Measurement, error) {
 	dev := sim.NewDevice(clk)
 	if err := RunProgram(ctx, p, dev, input); err != nil {
 		return nil, k20power.Measurement{}, err
 	}
+	d := clk.Device()
 	segs := power.Timeline(dev)
-	samples := sensor.Record(segs, sensor.DefaultOptions(seed))
-	m, err := k20power.Analyze(samples, k20power.DefaultOptions())
+	sopt := sensor.DefaultOptions(seed)
+	sopt.SwitchW = d.Sensor.SwitchW
+	sopt.NoiseSigmaW = d.Sensor.NoiseSigmaW
+	sopt.DriftAmpW = d.Sensor.DriftAmpW
+	samples := sensor.Record(segs, sopt)
+	aopt := k20power.DefaultOptions()
+	aopt.TailGuardW *= d.Power.EnergyScale
+	m, err := k20power.Analyze(samples, aopt)
 	return samples, m, err
 }
 
@@ -407,6 +434,54 @@ func CrossGPU(ctx context.Context, r *Runner, programs []Program) ([]CrossGPURow
 	return rows, nil
 }
 
+// DeviceCompareRow holds one program's absolute metrics on one GPU profile
+// at that profile's default clocks: the cross-device comparison experiment
+// (same programs, different device descriptions, runtime/power/energy side
+// by side).
+type DeviceCompareRow struct {
+	Device  string
+	Class   string
+	Program string
+	// Time, Energy, Power are the measured medians at the device's default
+	// configuration (absolute, not ratios — the point is how the envelopes
+	// differ across classes).
+	Time, Energy, Power float64
+	// Measurable is false when the device's sensor could not collect enough
+	// samples for this program (fast parts finish before the sampler sees
+	// them, mirroring the paper's 324 MHz exclusions).
+	Measurable bool
+}
+
+// DeviceCompare measures every program on every given device profile at the
+// profile's default configuration. Nil devices means kepler.Profiles() (one
+// representative per class: K20c, Pascal-class, Jetson-class).
+func DeviceCompare(ctx context.Context, r *Runner, programs []Program, devices []*kepler.Device) ([]DeviceCompareRow, error) {
+	if len(devices) == 0 {
+		devices = kepler.Profiles()
+	}
+	var rows []DeviceCompareRow
+	for _, d := range devices {
+		def := d.DefaultConfig()
+		for _, p := range programs {
+			row := DeviceCompareRow{Device: d.Name, Class: d.Class, Program: p.Name()}
+			res, err := r.Measure(ctx, p, p.DefaultInput(), def)
+			switch {
+			case err == nil:
+				row.Measurable = true
+				row.Time = res.ActiveTime
+				row.Energy = res.Energy
+				row.Power = res.AvgPower
+			case IsInsufficient(err):
+				// excluded on this device, reported as a dash
+			default:
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // FreqPoint is one program's response at one clock setting, relative to
 // the paper's default configuration.
 type FreqPoint struct {
@@ -416,17 +491,19 @@ type FreqPoint struct {
 	Measurable          bool
 }
 
-// FreqSweep measures a program across the K20c's full six-setting DVFS
-// ladder (the paper evaluated three of the six) and reports each setting's
-// runtime, energy and power relative to the default clocks. Settings whose
-// runs yield too few samples are flagged rather than dropped.
-func FreqSweep(ctx context.Context, r *Runner, p Program) ([]FreqPoint, error) {
-	base, err := r.Measure(ctx, p, p.DefaultInput(), kepler.Default)
+// FreqSweep measures a program across the device's full supported DVFS
+// ladder (six settings on the K20c, of which the paper evaluated three) and
+// reports each setting's runtime, energy and power relative to the default
+// clocks. Settings whose runs yield too few samples are flagged rather than
+// dropped. A nil dev selects the paper's K20c.
+func FreqSweep(ctx context.Context, r *Runner, p Program, dev *kepler.Device) ([]FreqPoint, error) {
+	d := deviceOrK20c(dev)
+	base, err := r.Measure(ctx, p, p.DefaultInput(), d.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
 	var points []FreqPoint
-	for _, clk := range kepler.AllSettings {
+	for _, clk := range d.Settings {
 		pt := FreqPoint{Config: clk.Name, CoreMHz: clk.CoreMHz, MemMHz: clk.MemMHz}
 		res, err := r.Measure(ctx, p, p.DefaultInput(), clk)
 		switch {

@@ -31,7 +31,7 @@ func TestTable1Toy(t *testing.T) {
 
 func TestTable2Toy(t *testing.T) {
 	r := NewRunner()
-	rows, err := Table2(context.Background(), r, toySet())
+	rows, err := Table2(context.Background(), r, toySet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestFigure5Toy(t *testing.T) {
 		return nil
 	}
 	r := NewRunner()
-	rows, err := Figure5(context.Background(), r, []Program{multi})
+	rows, err := Figure5(context.Background(), r, []Program{multi}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestFigure5Toy(t *testing.T) {
 
 func TestFigure6Toy(t *testing.T) {
 	r := NewRunner()
-	rows, err := Figure6(context.Background(), r, toySet())
+	rows, err := Figure6(context.Background(), r, toySet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestProfileToy(t *testing.T) {
 
 func TestClassifyToy(t *testing.T) {
 	r := NewRunner()
-	classes, err := Classify(context.Background(), r, toySet())
+	classes, err := Classify(context.Background(), r, toySet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestTable3Toy(t *testing.T) {
 		base: base.Name(),
 	}
 	r := NewRunner()
-	rows, excluded, err := Table3(context.Background(), r, base, []Program{fast}, "default")
+	rows, excluded, err := Table3(context.Background(), r, base, []Program{fast}, "default", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestTable3Toy(t *testing.T) {
 func TestTable4Toy(t *testing.T) {
 	a := &toyItems{toyProgram: computeBoundToy(4000), v: 200e3, e: 400e3}
 	r := NewRunner()
-	rows, err := Table4(context.Background(), r, []Program{a})
+	rows, err := Table4(context.Background(), r, []Program{a}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestTable4Toy(t *testing.T) {
 		t.Errorf("vertex/edge normalization wrong: %f vs %f", row.TimeVert, row.TimeEdge)
 	}
 	// And a program without item counts must be rejected.
-	if _, err := Table4(context.Background(), r, []Program{computeBoundToy(4000)}); err == nil {
+	if _, err := Table4(context.Background(), r, []Program{computeBoundToy(4000)}, nil); err == nil {
 		t.Error("program without ItemCounts accepted")
 	}
 }
@@ -338,7 +338,7 @@ func TestMetaAccessors(t *testing.T) {
 
 func TestFreqSweepToy(t *testing.T) {
 	r := NewRunner()
-	points, err := FreqSweep(context.Background(), r, computeBoundToy(4000))
+	points, err := FreqSweep(context.Background(), r, computeBoundToy(4000), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,13 +26,17 @@ type Finding struct {
 // measurements of the given program set (plus the L-BFS/SSSP variants for
 // the implementation findings). It is the library form of the repository's
 // integration tests: every claim is checked live, nothing is hard-coded.
-func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, ssspVariants []Program) ([]Finding, error) {
+// A nil dev selects the paper's K20c; other devices evaluate the same claims
+// at their analogous canonical operating points.
+func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, ssspVariants []Program, dev *kepler.Device) ([]Finding, error) {
+	cfgs := deviceOrK20c(dev).Configurations()
+	cDef, c614, c324, cECC := cfgs[0], cfgs[1], cfgs[2], cfgs[3]
 	var out []Finding
 	add := func(id, claim string, pass bool, detail string) {
 		out = append(out, Finding{ID: id, Claim: claim, Pass: pass, Detail: detail})
 	}
 
-	fig2, err := FigureRatios(ctx, r, programs, kepler.Default, kepler.F614)
+	fig2, err := FigureRatios(ctx, r, programs, cDef, c614)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +66,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 
 	// Freq-3: superlinear power reductions exist (drop exceeding the ~13%
 	// frequency drop).
-	freqDrop := 1 - float64(kepler.F614.CoreMHz)/float64(kepler.Default.CoreMHz)
+	freqDrop := 1 - float64(c614.CoreMHz)/float64(cDef.CoreMHz)
 	minP := stats.Quantile(p614, 0)
 	add("freq-3", "power reductions can exceed the core-frequency reduction (DVFS voltage)",
 		1-minP > freqDrop,
@@ -73,7 +77,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 		stats.Quantile(p614, 1) < 1.0,
 		fmt.Sprintf("worst 614 power ratio %.3f", stats.Quantile(p614, 1)))
 
-	fig3, err := FigureRatios(ctx, r, programs, kepler.F614, kepler.F324)
+	fig3, err := FigureRatios(ctx, r, programs, c614, c324)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +111,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 		float64(up) >= 0.5*float64(len(e324)),
 		fmt.Sprintf("%d of %d measurable programs use more energy", up, len(e324)))
 
-	fig4, err := FigureRatios(ctx, r, programs, kepler.Default, kepler.ECCDefault)
+	fig4, err := FigureRatios(ctx, r, programs, cDef, cECC)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +158,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 		}
 	}
 	if lbfsBase != nil && len(lbfsVariants) > 0 {
-		rows, _, err := Table3(ctx, r, lbfsBase, lbfsVariants, lbfsBase.DefaultInput())
+		rows, _, err := Table3(ctx, r, lbfsBase, lbfsVariants, lbfsBase.DefaultInput(), dev)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +182,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 			fmt.Sprintf("wla/default power %.2f", wlaPower))
 	}
 	if ssspBase != nil && len(ssspVariants) > 0 {
-		rows, _, err := Table3(ctx, r, ssspBase, ssspVariants, ssspBase.DefaultInput())
+		rows, _, err := Table3(ctx, r, ssspBase, ssspVariants, ssspBase.DefaultInput(), dev)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +199,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 
 	// Irregular-2 / Figure 5: power tends to rise with larger inputs on
 	// regular codes.
-	fig5, err := Figure5(ctx, r, programs)
+	fig5, err := Figure5(ctx, r, programs, dev)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +226,7 @@ func VerifyFindings(ctx context.Context, r *Runner, programs, lbfsVariants, sssp
 	// Power-efficiency (Figure 6 / section V.C): irregular Lonestar codes
 	// draw more power than the regular memory-bound codes.
 	var irregularP, regularMemP []float64
-	classes, err := Classify(ctx, r, programs)
+	classes, err := Classify(ctx, r, programs, dev)
 	if err != nil {
 		return nil, err
 	}

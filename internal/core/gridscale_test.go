@@ -40,7 +40,7 @@ func TestGridScaleReplayStress(t *testing.T) {
 		t.Fatalf("MeasureAll over %d configs: %v", len(grid), err)
 	}
 
-	sensitive, known := r.TraceClockSensitive(p, input)
+	sensitive, known := r.TraceClockSensitive(p, input, kepler.Default)
 	if !known || sensitive {
 		t.Fatalf("TraceClockSensitive(%s) = (%v, %v), want insensitive and known", p.Name(), sensitive, known)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/obs"
 )
 
@@ -36,6 +38,25 @@ type runnerMetrics struct {
 
 	// Per-stage duration histograms, keyed by stage name.
 	stageHist map[string]*obs.Histogram
+
+	// Per-device simulation counts (simulate_runs_device_<name>), created
+	// lazily the first time a device's configuration is simulated, so a
+	// multi-device serve process shows where the simulation budget goes.
+	deviceMu  sync.Mutex
+	deviceSim map[string]*obs.Counter
+}
+
+// simulateRun bumps the per-device simulation counter, creating it on the
+// device's first simulation.
+func (m *runnerMetrics) simulateRun(device string) {
+	m.deviceMu.Lock()
+	c, ok := m.deviceSim[device]
+	if !ok {
+		c = m.reg.Counter("simulate_runs_device_" + device)
+		m.deviceSim[device] = c
+	}
+	m.deviceMu.Unlock()
+	c.Inc()
 }
 
 // Metrics returns the runner's observability registry, creating it on first
@@ -63,6 +84,7 @@ func (r *Runner) metricsHandles() *runnerMetrics {
 			traceSensitiveRuns: reg.Counter("trace_cache_sensitive_runs"),
 			traceBytes:         reg.Counter("trace_cache_bytes"),
 			stageHist:          make(map[string]*obs.Histogram, len(StageNames)),
+			deviceSim:          make(map[string]*obs.Counter),
 		}
 		for _, name := range StageNames {
 			m.stageHist[name] = reg.Histogram("stage_" + name + "_seconds")

@@ -136,8 +136,10 @@ func (r *Runner) WorkerPool() *sim.WorkerPool { return r.workerPool() }
 // answer should Measure the pair at one configuration first. The frontier
 // sweep uses this to route programs: insensitive traces replay across the
 // dense grid, sensitive ones get the coarse-grid + interpolation fallback.
-func (r *Runner) TraceClockSensitive(p Program, input string) (sensitive, known bool) {
-	key := p.Name() + "\x00" + input
+// clk identifies the device whose trace is consulted — traces are cached per
+// device, since block statistics and issue cycles are device-dependent.
+func (r *Runner) TraceClockSensitive(p Program, input string, clk kepler.Clocks) (sensitive, known bool) {
+	key := traceKey(p, input, clk)
 	r.traceMu.Lock()
 	e := r.traces[key]
 	r.traceMu.Unlock()
@@ -153,6 +155,14 @@ func (r *Runner) TraceClockSensitive(p Program, input string) (sensitive, known 
 		return false, false
 	}
 	return e.trace.ClockSensitive(), true
+}
+
+// traceKey keys the launch-trace cache by (program, input, device): block
+// statistics and per-block issue cycles depend on the device's geometry and
+// throughputs, so a trace captured on one device never serves another (and
+// sim.LaunchTrace.Replay refuses the mismatch as a second line of defense).
+func traceKey(p Program, input string, clk kepler.Clocks) string {
+	return p.Name() + "\x00" + input + "\x00" + clk.Device().Name
 }
 
 // traceEntry is one slot of the launch-trace cache. The first goroutine to
@@ -207,7 +217,7 @@ func (r *Runner) Measure(ctx context.Context, p Program, input string, clk keple
 		ctx = context.Background()
 	}
 	m := r.metricsHandles()
-	key := joinKey(p.Name(), input, clk.Name, clk.Model().Name)
+	key := joinKey(p.Name(), input, clk.Name, clk.Device().Name)
 	r.mu.Lock()
 	if r.cache == nil {
 		r.cache = make(map[string]*cacheEntry)
@@ -246,7 +256,7 @@ func (r *Runner) Measure(ctx context.Context, p Program, input string, clk keple
 // it without simulating. Used by cost-policy decisions (e.g. the frontier
 // sweep choosing its strategy on a warm-started cache).
 func (r *Runner) Cached(p Program, input string, clk kepler.Clocks) bool {
-	key := joinKey(p.Name(), input, clk.Name, clk.Model().Name)
+	key := joinKey(p.Name(), input, clk.Name, clk.Device().Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.cache[key]

@@ -100,7 +100,7 @@ func (r *Runner) stageSimulate(st *measureState) error {
 		return err
 	}
 	m := r.metricsHandles()
-	key := st.p.Name() + "\x00" + st.input
+	key := traceKey(st.p, st.input, st.clk)
 
 	r.traceMu.Lock()
 	if r.traces == nil {
@@ -182,6 +182,7 @@ func (r *Runner) stageSimulate(st *measureState) error {
 // the clock-independent launch trace. On error the device (and any partial
 // capture) is discarded.
 func (r *Runner) simulateFresh(st *measureState, capture bool) (*sim.LaunchTrace, error) {
+	r.metricsHandles().simulateRun(st.clk.Device().Name)
 	dev := sim.NewDevice(st.clk)
 	dev.SetWorkerPool(r.workerPool())
 	st.dev = dev
@@ -221,17 +222,24 @@ func (r *Runner) stagePerturb(st *measureState) error {
 	st.seeds = make([]uint64, reps)
 	st.perturbed = make([][]power.Segment, reps)
 	for rep := 0; rep < reps; rep++ {
-		st.seeds[rep] = seedFor(st.p.Name(), st.input, st.clk.Model().Name, st.clk.Name, rep)
+		st.seeds[rep] = seedFor(st.p.Name(), st.input, st.clk.Device().Name, st.clk.Name, rep)
 		st.perturbed[rep] = perturbTimeline(st.segs, st.seeds[rep], r.RuntimeJitter)
 	}
 	return nil
 }
 
-// stageRecord samples every perturbed timeline through the sensor model.
+// stageRecord samples every perturbed timeline through the sensor model,
+// with the sampling switch level, noise and drift taken from the device's
+// sensor description (the defaults are the K20c's values).
 func (r *Runner) stageRecord(st *measureState) error {
+	dev := st.clk.Device()
 	st.samples = make([][]sensor.Sample, len(st.perturbed))
 	for rep := range st.perturbed {
-		st.samples[rep] = sensor.Record(st.perturbed[rep], sensor.DefaultOptions(st.seeds[rep]))
+		opt := sensor.DefaultOptions(st.seeds[rep])
+		opt.SwitchW = dev.Sensor.SwitchW
+		opt.NoiseSigmaW = dev.Sensor.NoiseSigmaW
+		opt.DriftAmpW = dev.Sensor.DriftAmpW
+		st.samples[rep] = sensor.Record(st.perturbed[rep], opt)
 	}
 	return nil
 }
@@ -241,9 +249,14 @@ func (r *Runner) stageRecord(st *measureState) error {
 // repetitions may fail (insufficient samples); the stage fails only when
 // none survive, reporting the first per-repetition error.
 func (r *Runner) stageAnalyze(st *measureState) error {
+	// The tail guard separates active power from the driver's persistence
+	// level; its default is sized for a 200 W-class board, so scale it with
+	// the device's power envelope (EnergyScale is 1 for the Kepler boards).
+	opt := r.Analysis
+	opt.TailGuardW *= st.clk.Device().Power.EnergyScale
 	var firstErr error
 	for rep := range st.samples {
-		m, err := k20power.Analyze(st.samples[rep], r.Analysis)
+		m, err := k20power.Analyze(st.samples[rep], opt)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -177,7 +177,7 @@ func TestTable4Ordering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-suite BFS comparison is slow")
 	}
-	rows, err := core.Table4(context.Background(), sharedRunner, suites.BFSCross())
+	rows, err := core.Table4(context.Background(), sharedRunner, suites.BFSCross(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestMeasurementTracksTruth(t *testing.T) {
 func TestVariabilityBand(t *testing.T) {
 	rows, err := core.Table2(context.Background(), sharedRunner, []core.Program{
 		mustProg(t, "NB"), mustProg(t, "STEN"), mustProg(t, "SC"),
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func TestVerifyFindings(t *testing.T) {
 		t.Skip("full findings sweep exceeds the default go-test timeout; set GPUCHAR_FINDINGS=1 (and -timeout 40m) to run, or use gpuchar -exp findings")
 	}
 	findings, err := core.VerifyFindings(context.Background(), sharedRunner, suites.All(),
-		suites.LBFSVariants(), suites.SSSPVariants())
+		suites.LBFSVariants(), suites.SSSPVariants(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

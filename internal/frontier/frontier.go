@@ -24,7 +24,10 @@ import (
 
 // Options configures a frontier sweep.
 type Options struct {
-	// Spec bounds the DVFS grid. Zero value means kepler.DefaultGridSpec.
+	// Device selects the GPU description whose DVFS ladder the sweep grids
+	// over. Nil means the K20c.
+	Device *kepler.Device
+	// Spec bounds the DVFS grid. Zero value means the device's default grid.
 	Spec kepler.GridSpec
 	// CoarseStride is the in-row sampling stride of the clock-sensitive
 	// fallback and of the optimizer's coarse pass (default 8: every 8th
@@ -39,8 +42,11 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Device == nil {
+		o.Device = kepler.K20cDevice()
+	}
 	if o.Spec.CoreStepMHz == 0 && o.Spec.CoreMinMHz == 0 && o.Spec.CoreMaxMHz == 0 && len(o.Spec.MemMHz) == 0 {
-		o.Spec = kepler.DefaultGridSpec()
+		o.Spec = o.Device.DefaultGrid()
 	}
 	if o.CoarseStride <= 0 {
 		o.CoarseStride = 8
@@ -157,7 +163,7 @@ func newMetrics(reg *obs.Registry) metrics {
 // runner configuration, same program, same options — same bytes.
 func Sweep(ctx context.Context, r *core.Runner, p core.Program, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	grid, err := kepler.Grid(opts.Spec)
+	grid, err := opts.Device.Grid(opts.Spec)
 	if err != nil {
 		return nil, err
 	}
@@ -166,14 +172,15 @@ func Sweep(ctx context.Context, r *core.Runner, p core.Program, opts Options) (*
 		input = p.DefaultInput()
 	}
 	m := newMetrics(r.Metrics())
+	def := opts.Device.DefaultConfig()
 
-	// First measurement: the paper's default configuration. This both
+	// First measurement: the device's default configuration. This both
 	// anchors DefaultIdx and forces the trace capture that decides the
 	// sweep strategy.
-	if _, err := r.Measure(ctx, p, input, kepler.Default); err != nil && !core.IsInsufficient(err) {
+	if _, err := r.Measure(ctx, p, input, def); err != nil && !core.IsInsufficient(err) {
 		return nil, err
 	}
-	sensitive, known := r.TraceClockSensitive(p, input)
+	sensitive, known := r.TraceClockSensitive(p, input, def)
 	if !known {
 		// No completed capture: the default measurement was served from a
 		// warm cache, errored, or the runner runs NoReplay. When the whole
@@ -201,7 +208,7 @@ func Sweep(ctx context.Context, r *core.Runner, p core.Program, opts Options) (*
 		}
 		res.Rows = append(res.Rows, idxRow)
 	}
-	res.DefaultIdx = res.findConfig(kepler.Default.Name)
+	res.DefaultIdx = res.findConfig(def.Name)
 
 	if sensitive {
 		err = res.sweepCoarse(ctx, r, p, input, opts, m)
@@ -271,7 +278,7 @@ func (r *Result) sweepDense(ctx context.Context, run *core.Runner, p core.Progra
 		switch {
 		case err == nil:
 			pt.fill(res)
-			if pt.Config.Name != kepler.Default.Name {
+			if i != r.DefaultIdx {
 				m.replays.Inc()
 			}
 		case core.IsInsufficient(err):
@@ -290,7 +297,7 @@ func (r *Result) sweepDense(ctx context.Context, run *core.Runner, p core.Progra
 // never interpolate across each other.
 func (r *Result) sweepCoarse(ctx context.Context, run *core.Runner, p core.Program, input string, opts Options, m metrics) error {
 	for _, row := range r.Rows {
-		anchors := coarseAnchors(r, row, opts.CoarseStride)
+		anchors := coarseAnchors(r, row, opts.CoarseStride, opts.Device)
 		for _, i := range anchors {
 			pt := &r.Points[i]
 			res, err := run.Measure(ctx, p, input, pt.Config)
@@ -307,10 +314,10 @@ func (r *Result) sweepCoarse(ctx context.Context, run *core.Runner, p core.Progr
 	return nil
 }
 
-// isCanonical reports whether name is one of the paper's four evaluated
-// configurations.
-func isCanonical(name string) bool {
-	for _, c := range kepler.Configs {
+// isCanonical reports whether name is one of the device's four evaluated
+// configurations (the paper's set, per device).
+func isCanonical(dev *kepler.Device, name string) bool {
+	for _, c := range dev.Configurations() {
 		if c.Name == name {
 			return true
 		}
@@ -322,10 +329,10 @@ func isCanonical(name string) bool {
 // stride-th entry, the row's last entry, and every canonical configuration
 // in the row (the paper's four are always real measurements, never
 // interpolations).
-func coarseAnchors(r *Result, row []int, stride int) []int {
+func coarseAnchors(r *Result, row []int, stride int, dev *kepler.Device) []int {
 	var anchors []int
 	for j, idx := range row {
-		if j%stride == 0 || j == len(row)-1 || isCanonical(r.Points[idx].Config.Name) {
+		if j%stride == 0 || j == len(row)-1 || isCanonical(dev, r.Points[idx].Config.Name) {
 			anchors = append(anchors, idx)
 		}
 	}

@@ -55,7 +55,7 @@ func chase(r *Result, opts Options) OptResult {
 	// sit off the stride lattice, e.g. 705 and 614 MHz).
 	for _, row := range r.Rows {
 		for j, idx := range row {
-			if j%opts.CoarseStride == 0 || j == len(row)-1 || isCanonical(r.Points[idx].Config.Name) {
+			if j%opts.CoarseStride == 0 || j == len(row)-1 || isCanonical(opts.Device, r.Points[idx].Config.Name) {
 				eval(idx)
 			}
 		}

@@ -10,63 +10,36 @@ import (
 // The paper evaluates four configurations; the launch-trace replay engine
 // makes additional configurations nearly free, so the frontier experiment
 // (internal/frontier) sweeps a dense core-MHz x mem-MHz grid instead. The
-// grid is generated, not hand-listed: GridSpec names the bounds, Grid
-// expands them into validated Clocks values, and VoltageFor derives each
-// configuration's core voltage from the K20c's DVFS ladder.
+// grid is generated, not hand-listed: GridSpec names the bounds, Device.Grid
+// expands them into validated Clocks values, and Device.VoltageFor derives
+// each configuration's core voltage from the device's DVFS ladder (its
+// application-clock settings sorted by core frequency).
 //
 // Voltage model (the "V^2 f" model): dynamic power scales as C·V²·f, and
 // DVFS pairs every frequency with the minimum stable voltage at that
-// frequency. The K20c exposes six application-clock settings whose
-// voltages are known (AllSettings); intermediate grid frequencies take the
-// piecewise-linear interpolation between the neighboring ladder rungs,
-// clamped to the ladder's end voltages outside its range. The resulting
-// V(f) is monotone non-decreasing in f by construction (the ladder is),
-// which the power model's V²·f scaling — and the energy-monotonicity
-// invariant in internal/check — depend on.
+// frequency. Each device's settings list the frequencies whose voltages are
+// known; intermediate grid frequencies take the piecewise-linear
+// interpolation between the neighboring ladder rungs, clamped to the
+// ladder's end voltages outside its range. The resulting V(f) is monotone
+// non-decreasing in f by construction (the loader rejects non-monotone
+// ladders), which the power model's V²·f scaling — and the
+// energy-monotonicity invariant in internal/check — depend on.
+//
+// The package-level VoltageFor, DefaultGridSpec and Grid delegate to the
+// canonical K20c device, preserving the pre-device-backend API bit for bit.
 
-// voltageLadder is the K20c DVFS ladder as (coreMHz, volts) rungs in
-// ascending frequency order, extracted from AllSettings.
-var voltageLadder = []struct {
-	mhz int
-	v   float64
-}{
-	{324, 0.85},
-	{614, 0.95},
-	{640, 0.96},
-	{666, 0.98},
-	{705, 1.01},
-	{758, 1.05},
-}
-
-// VoltageFor returns the core supply voltage the DVFS ladder pairs with the
-// given core frequency: exact on the ladder rungs, piecewise-linear between
-// them, clamped to the end rungs outside the ladder's range. It is monotone
-// non-decreasing in coreMHz.
+// VoltageFor returns the core supply voltage the K20c DVFS ladder pairs
+// with the given core frequency: exact on the ladder rungs, piecewise-linear
+// between them, clamped to the end rungs outside the ladder's range. It is
+// monotone non-decreasing in coreMHz.
 func VoltageFor(coreMHz int) float64 {
-	l := voltageLadder
-	if coreMHz <= l[0].mhz {
-		return l[0].v
-	}
-	if coreMHz >= l[len(l)-1].mhz {
-		return l[len(l)-1].v
-	}
-	for i := 1; i < len(l); i++ {
-		if coreMHz <= l[i].mhz {
-			lo, hi := l[i-1], l[i]
-			if coreMHz == hi.mhz {
-				return hi.v
-			}
-			frac := float64(coreMHz-lo.mhz) / float64(hi.mhz-lo.mhz)
-			return lo.v + (hi.v-lo.v)*frac
-		}
-	}
-	return l[len(l)-1].v
+	return K20cDevice().VoltageFor(coreMHz)
 }
 
 // GridSpec bounds a dense DVFS grid: every core clock from CoreMinMHz to
 // CoreMaxMHz in CoreStepMHz strides, crossed with every memory clock in
-// MemMHz. The paper's four canonical configurations are always part of the
-// generated grid, bit-identical to kepler.Configs.
+// MemMHz. A device's four canonical configurations are always part of the
+// generated grid, bit-identical to its Configurations().
 type GridSpec struct {
 	CoreMinMHz  int   `json:"coreMinMHz"`
 	CoreMaxMHz  int   `json:"coreMaxMHz"`
@@ -74,17 +47,12 @@ type GridSpec struct {
 	MemMHz      []int `json:"memMHz"`
 }
 
-// DefaultGridSpec is the frontier experiment's grid: 32 core clocks spanning
-// the K20c's application-clock range (324-758 MHz in 14 MHz steps) crossed
-// with three memory clocks (full, half, minimum data rate). With the
+// DefaultGridSpec is the frontier experiment's K20c grid: 32 core clocks
+// spanning the K20c's application-clock range (324-758 MHz in 14 MHz steps)
+// crossed with three memory clocks (full, half, minimum data rate). With the
 // canonical four folded in, it expands to 99 configurations.
 func DefaultGridSpec() GridSpec {
-	return GridSpec{
-		CoreMinMHz:  324,
-		CoreMaxMHz:  758,
-		CoreStepMHz: 14,
-		MemMHz:      []int{2600, 1300, 324},
-	}
+	return K20cDevice().DefaultGrid()
 }
 
 // MaxGridConfigs bounds the expanded grid size, keeping runaway specs (and
@@ -115,90 +83,24 @@ func (s GridSpec) Validate() error {
 		seen[m] = true
 	}
 	cores := (s.CoreMaxMHz-s.CoreMinMHz)/s.CoreStepMHz + 1
-	if n := cores*len(s.MemMHz) + len(Configs); n > MaxGridConfigs {
+	if n := cores*len(s.MemMHz) + numCanonicalConfigs; n > MaxGridConfigs {
 		return fmt.Errorf("kepler: grid expands to %d configurations (max %d)", n, MaxGridConfigs)
 	}
 	return nil
 }
 
 // GridName is the generated configuration naming scheme: "c<core>m<mem>".
-// The name alone reconstructs the configuration (see ConfigByName), so grid
-// configs round-trip through stores and service requests without a registry.
+// The name alone reconstructs the configuration on a given device (see
+// Device.ConfigByName), so grid configs round-trip through stores and
+// service requests without a registry.
 func GridName(coreMHz, memMHz int) string {
 	return fmt.Sprintf("c%dm%d", coreMHz, memMHz)
 }
 
-// gridConfig builds one generated grid configuration. ECC stays off on grid
-// points; the canonical ECCDefault covers the ECC axis.
-func gridConfig(coreMHz, memMHz int) Clocks {
-	return Clocks{
-		Name:     GridName(coreMHz, memMHz),
-		CoreMHz:  coreMHz,
-		MemMHz:   memMHz,
-		VoltageV: VoltageFor(coreMHz),
-	}
-}
-
-// canonicalByClocks indexes the paper's non-ECC configurations by their
-// (core, mem) pair, for deduplication: a grid point that lands exactly on a
-// canonical configuration is emitted as that canonical value (same name,
-// same voltage, bit-identical), never as a duplicate "c..m.." alias.
-func canonicalByClocks(coreMHz, memMHz int) (Clocks, bool) {
-	for _, c := range Configs {
-		if !c.ECC && c.CoreMHz == coreMHz && c.MemMHz == memMHz {
-			return c, true
-		}
-	}
-	return Clocks{}, false
-}
-
-// Grid expands the spec into the dense DVFS configuration list:
-//
-//   - the canonical four paper configurations first, bit-identical to
-//     kepler.Configs (so every grid sweep embeds the paper's sweep);
-//   - then every (core, mem) grid point, memory clocks in the spec's order,
-//     core clocks ascending, skipping points that coincide with a canonical
-//     configuration (already emitted).
-//
-// Every returned configuration passes Validate, has a unique name, and
-// round-trips ConfigByName.
+// Grid expands the spec into the K20c's dense DVFS configuration list; see
+// Device.Grid for the layout contract.
 func Grid(spec GridSpec) ([]Clocks, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	out := make([]Clocks, 0, len(Configs)+8)
-	out = append(out, Configs...)
-	for _, mem := range spec.MemMHz {
-		for core := spec.CoreMinMHz; core <= spec.CoreMaxMHz; core += spec.CoreStepMHz {
-			if _, dup := canonicalByClocks(core, mem); dup {
-				continue
-			}
-			out = append(out, gridConfig(core, mem))
-		}
-	}
-	return out, nil
-}
-
-// parseGridName reconstructs a generated configuration from its
-// "c<core>m<mem>" name: the voltage model is deterministic, so the name
-// alone rebuilds the exact Clocks value Grid emitted. A grid name that
-// coincides with a canonical (core, mem) pair resolves to the canonical
-// configuration, matching Grid's deduplication. Returns ok=false for
-// anything that is not a well-formed, valid grid name.
-func parseGridName(name string) (Clocks, bool) {
-	var core, mem int
-	n, err := fmt.Sscanf(name, "c%dm%d", &core, &mem)
-	if err != nil || n != 2 || name != GridName(core, mem) {
-		return Clocks{}, false
-	}
-	if c, ok := canonicalByClocks(core, mem); ok {
-		return c, true
-	}
-	c := gridConfig(core, mem)
-	if err := c.Validate(); err != nil {
-		return Clocks{}, false
-	}
-	return c, true
+	return K20cDevice().Grid(spec)
 }
 
 // GridRows groups a grid into frontier rows: configurations sharing a

@@ -35,7 +35,7 @@ func TestGridCanonicalFirstAndBitIdentical(t *testing.T) {
 }
 
 func TestVoltageForLadderRungs(t *testing.T) {
-	for _, rung := range voltageLadder {
+	for _, rung := range K20cDevice().ladder {
 		if got := VoltageFor(rung.mhz); got != rung.v {
 			t.Errorf("VoltageFor(%d) = %v, want ladder value %v", rung.mhz, got, rung.v)
 		}

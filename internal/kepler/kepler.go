@@ -1,109 +1,69 @@
-// Package kepler describes the simulated GPU: a Kepler-class compute device
-// modeled on the NVIDIA Tesla K20c used by Coplin and Burtscher. It provides
-// the architectural constants (SM/PE/warp geometry, throughputs, latencies,
-// memory system parameters) and the DVFS clock/voltage/ECC configurations the
-// paper evaluates.
+// Package kepler describes the simulated GPUs. Historically it modeled one
+// board — the Kepler-class NVIDIA Tesla K20c used by Coplin and Burtscher —
+// as package constants; today every architectural number (SM/PE/warp
+// geometry, throughputs, latencies, memory-system parameters, the ECC,
+// power and sensor models, and the DVFS clock/voltage tables) is a field of
+// a Device loaded from an embedded data file (see device.go). The paper's
+// K20c remains the canonical instance (K20cDevice), and the package-level
+// configuration values below delegate to it so the original single-board
+// API — and its golden-pinned bit-exact behaviour — is unchanged.
 package kepler
 
 import "fmt"
 
-// Architectural constants of the simulated K20c.
-const (
-	// SMs is the number of streaming multiprocessors.
-	SMs = 13
-	// PEsPerSM is the number of processing elements (CUDA cores) per SM.
-	PEsPerSM = 192
-	// WarpSize is the number of tightly coupled threads per warp.
-	WarpSize = 32
-	// SchedulersPerSM is the number of warp schedulers per SM.
-	SchedulersPerSM = 4
-	// MaxThreadsPerSM bounds resident threads per SM.
-	MaxThreadsPerSM = 2048
-	// MaxWarpsPerSM bounds resident warps per SM.
-	MaxWarpsPerSM = MaxThreadsPerSM / WarpSize
-	// MaxBlocksPerSM bounds resident thread blocks per SM.
-	MaxBlocksPerSM = 16
-	// MaxThreadsPerBlock bounds the block size.
-	MaxThreadsPerBlock = 1024
-	// SharedMemPerSM is the shared-memory capacity per SM in bytes.
-	SharedMemPerSM = 48 * 1024
-	// SharedBanks is the number of shared-memory banks.
-	SharedBanks = 32
-	// SegmentBytes is the size of an aligned global-memory segment; a warp
-	// access touching a single segment coalesces into one transaction.
-	SegmentBytes = 128
-	// DRAMBytes is the global-memory capacity (5 GB on the K20c).
-	DRAMBytes = 5 * 1024 * 1024 * 1024
-	// ECCCapacityLoss is the fraction of DRAM set aside for ECC information.
-	ECCCapacityLoss = 0.125
-	// BusBytesPerMemClock is the DRAM bus width in bytes delivered per
-	// effective memory clock (K20c: 208 GB/s at 2.6 GHz => 80 B/clock).
-	BusBytesPerMemClock = 80
-	// DRAMLatencyMemClocks is the global-memory access latency expressed in
-	// effective memory clocks (~346 ns at 2.6 GHz).
-	DRAMLatencyMemClocks = 900
-	// MaxOutstandingPerWarp is the number of global transactions a warp can
-	// keep in flight (memory-level parallelism per warp).
-	MaxOutstandingPerWarp = 6
-)
+// WarpSize is the number of tightly coupled threads per warp. It stays a
+// compile-time constant (not a Device field): the execution engine's lane
+// arrays are sized by it, and every device class the simulator models uses
+// 32-thread warps.
+const WarpSize = 32
 
-// Per-SM issue throughputs in warp instructions per core clock.
-const (
-	IssueRate = 8.0 // total dual-issue slots across the 4 schedulers
-	FP32Rate  = 6.0 // 192 PEs / 32 lanes
-	FP64Rate  = 2.0 // 64 DP units / 32 lanes (1/3 of SP on the K20)
-	IntRate   = 5.0 // 160 integer ALUs / 32 lanes
-	SFURate   = 1.0 // 32 SFUs / 32 lanes
-	LDSTRate  = 1.0 // 32 LD/ST units / 32 lanes
-)
+// numCanonicalConfigs is the number of canonical configurations every
+// device carries (the paper's four: default, 614, 324, ecc).
+const numCanonicalConfigs = 4
 
-// Clocks is one DVFS configuration of the device: the application clocks,
-// the core voltage implied by the frequency (as in DVFS), and whether ECC
+// Clocks is one DVFS configuration of a device: the application clocks, the
+// core voltage implied by the frequency (as in DVFS), and whether ECC
 // protection of the main memory is enabled.
 type Clocks struct {
-	// Name identifies the configuration ("default", "614", "324", "ecc").
-	Name string
+	// Name identifies the configuration ("default", "614", "324", "ecc",
+	// or a grid name "c<core>m<mem>").
+	Name string `json:"name"`
 	// CoreMHz is the SM core clock in MHz.
-	CoreMHz int
+	CoreMHz int `json:"coreMHz"`
 	// MemMHz is the effective memory data-rate clock in MHz.
-	MemMHz int
+	MemMHz int `json:"memMHz"`
 	// VoltageV is the core supply voltage in volts.
-	VoltageV float64
+	VoltageV float64 `json:"voltageV"`
 	// ECC reports whether ECC protection of main memory is enabled.
-	ECC bool
-	// model is the board this configuration belongs to; the zero value
-	// means the paper's K20c.
-	model Model
+	ECC bool `json:"ecc,omitempty"`
+	// dev is the device this configuration belongs to; nil means the
+	// paper's K20c (so the canonical K20c values predating the device
+	// backend stay bit- and ==-comparable).
+	dev *Device
 }
 
-// The four configurations evaluated by the paper. "Default" is the fastest
-// sustainable setting (705 MHz core, 2.6 GHz memory); "F614" lowers only the
-// core clock; "F324" lowers both core and memory clocks to the slowest
-// available setting; "ECCDefault" is the default clocks with ECC enabled.
+// The four configurations evaluated by the paper, on the K20c. "Default" is
+// the fastest sustainable setting (705 MHz core, 2.6 GHz memory); "F614"
+// lowers only the core clock; "F324" lowers both core and memory clocks to
+// the slowest available setting; "ECCDefault" is the default clocks with
+// ECC enabled.
 var (
-	Default    = Clocks{Name: "default", CoreMHz: 705, MemMHz: 2600, VoltageV: 1.01}
-	F614       = Clocks{Name: "614", CoreMHz: 614, MemMHz: 2600, VoltageV: 0.95}
-	F324       = Clocks{Name: "324", CoreMHz: 324, MemMHz: 324, VoltageV: 0.85}
-	ECCDefault = Clocks{Name: "ecc", CoreMHz: 705, MemMHz: 2600, VoltageV: 1.01, ECC: true}
+	Default    = K20cDevice().canonical[0]
+	F614       = K20cDevice().canonical[1]
+	F324       = K20cDevice().canonical[2]
+	ECCDefault = K20cDevice().canonical[3]
 )
 
 // Configs lists the four evaluated configurations in the paper's order.
-var Configs = []Clocks{Default, F614, F324, ECCDefault}
+var Configs = K20cDevice().Configurations()
 
 // AllSettings lists the K20c's six application-clock settings (the paper
 // evaluates three of them: 705 as "default" — 758 throttles under
 // sustained load — plus 614 and 324). Voltages follow the DVFS ladder.
-var AllSettings = []Clocks{
-	{Name: "758", CoreMHz: 758, MemMHz: 2600, VoltageV: 1.05},
-	{Name: "705", CoreMHz: 705, MemMHz: 2600, VoltageV: 1.01},
-	{Name: "666", CoreMHz: 666, MemMHz: 2600, VoltageV: 0.98},
-	{Name: "640", CoreMHz: 640, MemMHz: 2600, VoltageV: 0.96},
-	{Name: "614", CoreMHz: 614, MemMHz: 2600, VoltageV: 0.95},
-	{Name: "324", CoreMHz: 324, MemMHz: 324, VoltageV: 0.85},
-}
+var AllSettings = append([]Clocks(nil), K20cDevice().Settings...)
 
-// ConfigByName returns the configuration with the given name: one of the
-// canonical four, or a generated dense-grid configuration named
+// ConfigByName returns the K20c configuration with the given name: one of
+// the canonical four, or a generated dense-grid configuration named
 // "c<core>m<mem>" (see Grid), reconstructed from the name alone so grid
 // configs round-trip through stores and service requests.
 func ConfigByName(name string) (Clocks, error) {
@@ -112,22 +72,23 @@ func ConfigByName(name string) (Clocks, error) {
 			return c, nil
 		}
 	}
-	if c, ok := parseGridName(name); ok {
+	if c, ok := K20cDevice().parseGridName(name); ok {
 		return c, nil
 	}
 	return Clocks{}, fmt.Errorf("kepler: unknown clock configuration %q", name)
 }
 
-// Model returns the board this configuration belongs to (K20c by default).
-func (c Clocks) Model() Model {
-	if c.model.Name == "" {
-		return K20c
+// Device returns the device this configuration belongs to (the K20c for
+// the zero value and every configuration predating the device backend).
+func (c Clocks) Device() *Device {
+	if c.dev == nil {
+		return K20cDevice()
 	}
-	return c.model
+	return c.dev
 }
 
-// SMCount returns the board's streaming-multiprocessor count.
-func (c Clocks) SMCount() int { return c.Model().SMs }
+// SMCount returns the device's streaming-multiprocessor count.
+func (c Clocks) SMCount() int { return c.Device().SMs }
 
 // CoreHz returns the core clock in Hz.
 func (c Clocks) CoreHz() float64 { return float64(c.CoreMHz) * 1e6 }
@@ -139,9 +100,10 @@ func (c Clocks) MemHz() float64 { return float64(c.MemMHz) * 1e6 }
 // accounting for the ECC overhead when enabled (ECC information shares the
 // same DRAM bus, reducing usable bandwidth by the capacity-loss factor).
 func (c Clocks) MemBandwidth() float64 {
-	bw := c.MemHz() * float64(c.Model().BusBytesPerMemClock)
+	d := c.Device()
+	bw := c.MemHz() * float64(d.BusBytesPerMemClock)
 	if c.ECC {
-		bw *= 1 - ECCCapacityLoss
+		bw *= 1 - d.ECC.CapacityLoss
 	}
 	return bw
 }
@@ -149,19 +111,21 @@ func (c Clocks) MemBandwidth() float64 {
 // MemLatency returns the global-memory access latency in seconds. ECC adds
 // latency because the memory controller must fetch and check the ECC words.
 func (c Clocks) MemLatency() float64 {
-	lat := DRAMLatencyMemClocks / c.MemHz()
+	d := c.Device()
+	lat := float64(d.DRAMLatencyMemClocks) / c.MemHz()
 	if c.ECC {
-		lat *= 1.18
+		lat *= d.ECC.LatencyFactor
 	}
 	return lat
 }
 
 // UsableDRAM returns the global-memory capacity available to programs.
 func (c Clocks) UsableDRAM() int64 {
+	d := c.Device()
 	if c.ECC {
-		return int64(float64(DRAMBytes) * (1 - ECCCapacityLoss))
+		return int64(float64(d.DRAMBytes) * (1 - d.ECC.CapacityLoss))
 	}
-	return DRAMBytes
+	return d.DRAMBytes
 }
 
 // String returns a human-readable description of the configuration.
@@ -187,51 +151,24 @@ func (c Clocks) Validate() error {
 	return nil
 }
 
-// Model describes a Kepler-family board. The paper reports that initial
-// experiments on the K20m, K20x and K40 "resulted in the same findings
-// after appropriately scaling the absolute measurements" — the simulator
-// exposes those boards so that claim can be re-verified (see the
-// cross-GPU experiment in internal/core).
-type Model struct {
-	// Name is the board name ("K20c", "K20m", "K20x", "K40").
-	Name string
-	// SMs is the streaming-multiprocessor count.
-	SMs int
-	// CoreMHz and MemMHz are the board's default application clocks.
-	CoreMHz, MemMHz int
-	// BusBytesPerMemClock is the DRAM bus width per effective memory clock.
-	BusBytesPerMemClock int
-	// IdleScale and StaticScale adjust the power floors relative to the
-	// K20c (bigger boards burn more).
-	IdleScale, StaticScale float64
+// Models lists the Kepler-family boards the paper cross-checked. The paper
+// reports that initial experiments on the K20m, K20x and K40 "resulted in
+// the same findings after appropriately scaling the absolute measurements"
+// — the simulator carries those boards as full device descriptions so that
+// claim can be re-verified (see the cross-GPU experiment in internal/core).
+var Models = []*Device{
+	K20cDevice(),
+	mustDevice("K20m"),
+	mustDevice("K20x"),
+	mustDevice("K40"),
 }
 
-// The Kepler-family boards the paper cross-checked.
-var (
-	K20c = Model{Name: "K20c", SMs: 13, CoreMHz: 705, MemMHz: 2600, BusBytesPerMemClock: 80, IdleScale: 1, StaticScale: 1}
-	K20m = Model{Name: "K20m", SMs: 13, CoreMHz: 705, MemMHz: 2600, BusBytesPerMemClock: 80, IdleScale: 0.98, StaticScale: 0.99}
-	K20x = Model{Name: "K20x", SMs: 14, CoreMHz: 732, MemMHz: 2600, BusBytesPerMemClock: 96, IdleScale: 1.05, StaticScale: 1.08}
-	K40  = Model{Name: "K40", SMs: 15, CoreMHz: 745, MemMHz: 3004, BusBytesPerMemClock: 96, IdleScale: 1.08, StaticScale: 1.12}
-)
-
-// Models lists the cross-checked boards, K20c first.
-var Models = []Model{K20c, K20m, K20x, K40}
-
-// Configurations returns this board's analogues of the paper's four
-// configurations: default clocks, a ~13% lower core clock, the lowest
-// core+memory clocks, and default clocks with ECC.
-func (m Model) Configurations() []Clocks {
-	mk := func(name string, core, mem int, v float64, ecc bool) Clocks {
-		return Clocks{Name: name, CoreMHz: core, MemMHz: mem, VoltageV: v, ECC: ecc,
-			model: m}
+func mustDevice(name string) *Device {
+	d, err := DeviceByName(name)
+	if err != nil {
+		panic(err)
 	}
-	low := m.CoreMHz * 614 / 705
-	return []Clocks{
-		mk("default", m.CoreMHz, m.MemMHz, 1.01, false),
-		mk("614", low, m.MemMHz, 0.95, false),
-		mk("324", 324, 324, 0.85, false),
-		mk("ecc", m.CoreMHz, m.MemMHz, 1.01, true),
-	}
+	return d
 }
 
 // Occupancy describes how many blocks, warps and threads are resident per SM
@@ -243,35 +180,9 @@ type Occupancy struct {
 	Fraction float64
 }
 
-// ComputeOccupancy derives the per-SM residency for a launch of blocks with
-// threadsPerBlock threads and sharedPerBlock bytes of shared memory each.
+// ComputeOccupancy derives the per-SM residency on the K20c for a launch of
+// blocks with threadsPerBlock threads and sharedPerBlock bytes of shared
+// memory each. Device-aware callers use Device.ComputeOccupancy.
 func ComputeOccupancy(threadsPerBlock, sharedPerBlock int) Occupancy {
-	if threadsPerBlock <= 0 {
-		threadsPerBlock = 1
-	}
-	warpsPerBlock := (threadsPerBlock + WarpSize - 1) / WarpSize
-	blocks := MaxBlocksPerSM
-	if byThreads := MaxThreadsPerSM / threadsPerBlock; byThreads < blocks {
-		blocks = byThreads
-	}
-	if byWarps := MaxWarpsPerSM / warpsPerBlock; byWarps < blocks {
-		blocks = byWarps
-	}
-	if sharedPerBlock > 0 {
-		if byShmem := SharedMemPerSM / sharedPerBlock; byShmem < blocks {
-			blocks = byShmem
-		}
-	}
-	if blocks < 1 {
-		blocks = 1
-	}
-	warps := blocks * warpsPerBlock
-	if warps > MaxWarpsPerSM {
-		warps = MaxWarpsPerSM
-	}
-	return Occupancy{
-		BlocksPerSM: blocks,
-		WarpsPerSM:  warps,
-		Fraction:    float64(warps) / float64(MaxWarpsPerSM),
-	}
+	return K20cDevice().ComputeOccupancy(threadsPerBlock, sharedPerBlock)
 }

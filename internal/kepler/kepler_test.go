@@ -98,7 +98,7 @@ func TestOccupancyProperties(t *testing.T) {
 		occ := ComputeOccupancy(int(threads)%1025, int(shared)%(64*1024))
 		return occ.BlocksPerSM >= 1 &&
 			occ.WarpsPerSM >= 1 &&
-			occ.WarpsPerSM <= MaxWarpsPerSM &&
+			occ.WarpsPerSM <= K20cDevice().MaxWarpsPerSM() &&
 			occ.Fraction > 0 && occ.Fraction <= 1
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -116,8 +116,8 @@ func TestModelsConfigurations(t *testing.T) {
 			if err := c.Validate(); err != nil {
 				t.Errorf("%s/%s: %v", m.Name, c.Name, err)
 			}
-			if c.Model().Name != m.Name {
-				t.Errorf("%s/%s: model %s", m.Name, c.Name, c.Model().Name)
+			if c.Device().Name != m.Name {
+				t.Errorf("%s/%s: device %s", m.Name, c.Name, c.Device().Name)
 			}
 		}
 		if cfgs[1].CoreMHz >= cfgs[0].CoreMHz {
@@ -130,14 +130,14 @@ func TestModelsConfigurations(t *testing.T) {
 }
 
 func TestDefaultClocksAreK20c(t *testing.T) {
-	if Default.Model().Name != "K20c" {
-		t.Errorf("zero-model default = %s", Default.Model().Name)
+	if Default.Device().Name != "K20c" {
+		t.Errorf("zero-device default = %s", Default.Device().Name)
 	}
 	if Default.SMCount() != 13 {
 		t.Errorf("K20c SMs = %d", Default.SMCount())
 	}
 	// K40 has more bandwidth than the K20c.
-	k40 := K40.Configurations()[0]
+	k40 := mustDevice("K40").Configurations()[0]
 	if k40.MemBandwidth() <= Default.MemBandwidth() {
 		t.Error("K40 bandwidth should exceed K20c")
 	}

@@ -35,38 +35,37 @@ const (
 	eLDST   = 0.9e-9  // load/store issue slot (address path, TLB, L2 tag)
 	eTxn    = 15.0e-9 // 128-byte DRAM transaction (activate+transfer share)
 	eAtomic = 2.5e-9  // L2 atomic operation
-	// eccCheckEnergy is the controller-side check/correct energy per
-	// transaction when ECC is on (raises Lonestar's energy beyond its
-	// runtime increase, as the paper observes).
-	eccCheckEnergy = 2.2e-9
-	eSync          = 0.5e-9 // barrier
+	eSync   = 0.5e-9  // barrier
 	// eDivergence is the extra frontend/replay energy per serialized
 	// divergent path beyond the first, per warp instruction of that path.
 	divergenceFactor = 0.18
 
-	refVoltage = 1.01
-
-	// Static power: a configuration-independent board share (fan, VRM
-	// losses, DRAM refresh) plus a voltage- and clock-dependent share
-	// (leakage plus always-on clock trees).
-	boardStaticW = 14.0
-	leakageRefW  = 28.0
-	idleW        = 25.0 // driver-idle power (paper: "less than about 26 W")
-	tailDuration = 1.6  // seconds the driver holds the tail level
-	leadIdle     = 2.0  // seconds of idle recorded before the first kernel
-	trailIdle    = 2.5  // seconds of idle recorded after the tail
+	// Measurement-protocol timing (properties of the methodology, not of
+	// any board).
+	tailDuration = 1.6 // seconds the driver holds the tail level
+	leadIdle     = 2.0 // seconds of idle recorded before the first kernel
+	trailIdle    = 2.5 // seconds of idle recorded after the tail
 )
+
+// The per-event energies above are quoted for the reference 28 nm Kepler
+// part at its reference voltage; a device's PowerModel supplies the voltage
+// reference, the static/idle power floors and the EnergyScale that adapts
+// the per-event energies to other process nodes and power envelopes.
 
 // StaticActiveW returns the static power burned while the GPU is executing,
 // for the given configuration.
 func StaticActiveW(clk kepler.Clocks) float64 {
-	v := clk.VoltageV / refVoltage
-	f := float64(clk.CoreMHz) / float64(clk.Model().CoreMHz)
-	return (boardStaticW + leakageRefW*v*v*(0.45+0.55*f)) * clk.Model().StaticScale
+	d := clk.Device()
+	v := clk.VoltageV / d.Power.RefVoltageV
+	f := float64(clk.CoreMHz) / float64(d.DefaultCoreMHz)
+	return (d.Power.BoardStaticW + d.Power.LeakageRefW*v*v*(0.45+0.55*f)) * d.Power.StaticScale
 }
 
 // IdleW returns the driver-idle power of the configuration's board.
-func IdleW(clk kepler.Clocks) float64 { return idleW * clk.Model().IdleScale }
+func IdleW(clk kepler.Clocks) float64 {
+	d := clk.Device()
+	return d.Power.IdleW * d.Power.IdleScale
+}
 
 // TailW returns the post-kernel persistence power level: the driver keeps
 // the clocks up for a while in case another kernel arrives, burning a
@@ -87,7 +86,8 @@ func LaunchEnergy(clk kepler.Clocks, l *sim.Launch) float64 {
 
 // launchDynamicEnergy sums the per-event energies of the launch statistics.
 func launchDynamicEnergy(clk kepler.Clocks, s *trace.KernelStats) float64 {
-	v := clk.VoltageV / refVoltage
+	d := clk.Device()
+	v := clk.VoltageV / d.Power.RefVoltageV
 	v2 := v * v
 
 	core := float64(s.IntInsts)*eInt +
@@ -114,12 +114,12 @@ func launchDynamicEnergy(clk kepler.Clocks, s *trace.KernelStats) float64 {
 		// ECC words travel with the data; scattered streams amortize them
 		// poorly (mirrors the timing model's transaction inflation), and the
 		// controller burns check/correct energy on every transaction.
-		txns *= 1.125 * (1 + 0.30*(1-s.CoalescingEfficiency()))
-		txns += float64(s.GlobalTxns) * eccCheckEnergy / eTxn
+		txns *= d.ECC.EnergyFactor * (1 + d.ECC.BandwidthPenalty*(1-s.CoalescingEfficiency()))
+		txns += float64(s.GlobalTxns) * d.ECC.CheckEnergyJ / eTxn
 	}
 	mem := txns*eTxn + float64(s.Atomics)*eAtomic
 
-	return core + mem
+	return (core + mem) * d.Power.EnergyScale
 }
 
 // LaunchPower returns the average power in watts during one execution of the

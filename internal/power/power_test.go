@@ -10,6 +10,10 @@ import (
 	"repro/internal/trace"
 )
 
+// idleW is the K20c's driver-idle power, the floor every K20c timeline
+// returns to (all configurations in these tests belong to the K20c).
+var idleW = IdleW(kepler.Default)
+
 func computeLaunch(clk kepler.Clocks) (*sim.Device, *sim.Launch) {
 	d := sim.NewDevice(clk)
 	l := d.Launch("fma", 1024, 256, func(c *sim.Ctx) { c.FP32Ops(800) })
@@ -243,7 +247,7 @@ func TestRepeatScalesEnergyLinearly(t *testing.T) {
 
 func TestBoardPowerScales(t *testing.T) {
 	// The K40 must burn more static power than the K20c at its defaults.
-	k40 := kepler.K40.Configurations()[0]
+	k40 := kepler.Models[3].Configurations()[0]
 	if StaticActiveW(k40) <= StaticActiveW(kepler.Default) {
 		t.Errorf("K40 static %.1f <= K20c %.1f", StaticActiveW(k40), StaticActiveW(kepler.Default))
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frontier"
 	"repro/internal/k20power"
+	"repro/internal/kepler"
 	"repro/internal/sensor"
 	"repro/internal/stats"
 )
@@ -232,9 +233,10 @@ func BoxPlot(w io.Writer, title string, rows []core.FigRatioRow) {
 	}
 }
 
-// FreqSweep renders a program's full DVFS-ladder response.
-func FreqSweep(w io.Writer, program string, points []core.FreqPoint) {
-	fmt.Fprintf(w, "DVFS sweep for %s (ratios vs default 705/2600):\n", program)
+// FreqSweep renders a program's full DVFS-ladder response relative to the
+// given default clocks.
+func FreqSweep(w io.Writer, program string, def kepler.Clocks, points []core.FreqPoint) {
+	fmt.Fprintf(w, "DVFS sweep for %s (ratios vs default %d/%d):\n", program, def.CoreMHz, def.MemMHz)
 	fmt.Fprintf(w, "  %-8s %10s %8s %8s %8s\n", "setting", "core/mem", "time", "energy", "power")
 	for _, pt := range points {
 		if !pt.Measurable {
@@ -296,6 +298,52 @@ func Frontier(w io.Writer, res *frontier.Result) {
 		names = append(names, res.Points[idx].Config.Name)
 	}
 	fmt.Fprintf(w, "  Pareto front (%d): %s\n", len(names), strings.Join(names, " "))
+}
+
+// DeviceCompare renders the cross-device comparison as a pivot table: one
+// row per program, one column group per GPU profile, so runtime, energy and
+// power envelopes sit side by side.
+func DeviceCompare(w io.Writer, rows []core.DeviceCompareRow) {
+	fmt.Fprintln(w, "Cross-device comparison: each program at every profile's default clocks")
+	var devs, progs []string
+	class := map[string]string{}
+	cell := map[string]map[string]core.DeviceCompareRow{}
+	seenProg := map[string]bool{}
+	for _, r := range rows {
+		if _, ok := cell[r.Device]; !ok {
+			devs = append(devs, r.Device)
+			class[r.Device] = r.Class
+			cell[r.Device] = map[string]core.DeviceCompareRow{}
+		}
+		cell[r.Device][r.Program] = r
+		if !seenProg[r.Program] {
+			seenProg[r.Program] = true
+			progs = append(progs, r.Program)
+		}
+	}
+	fmt.Fprintf(w, "%-14s", "")
+	for _, d := range devs {
+		fmt.Fprintf(w, " %-29s", d+" ("+class[d]+")")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s", "Program")
+	for range devs {
+		fmt.Fprintf(w, " %9s %9s %9s", "time[s]", "en[J]", "pwr[W]")
+	}
+	fmt.Fprintln(w)
+	for _, p := range progs {
+		fmt.Fprintf(w, "%-14s", p)
+		for _, d := range devs {
+			r, ok := cell[d][p]
+			if !ok || !r.Measurable {
+				fmt.Fprintf(w, " %9s %9s %9s", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %9.3f %9.1f %9.1f", r.Time, r.Energy, r.Power)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "  '-' marks programs the profile cannot measure (too few power samples).")
 }
 
 // Findings renders the paper's conclusions checklist.

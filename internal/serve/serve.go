@@ -319,6 +319,8 @@ type measureRequest struct {
 	Input string `json:"input,omitempty"`
 	// Config defaults to "default" when empty.
 	Config string `json:"config,omitempty"`
+	// Device selects the GPU profile (kepler.Devices); empty means the K20c.
+	Device string `json:"device,omitempty"`
 }
 
 // measureResponse is the POST /v1/measure success body. Reps marshal with
@@ -356,7 +358,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	p, clk, input, err := s.resolve(req.Program, req.Input, req.Config)
+	p, clk, input, err := s.resolve(req.Program, req.Input, req.Config, req.Device)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -389,7 +391,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		Program:        res.Program,
 		Input:          res.Input,
 		Config:         res.Config,
-		Board:          clk.Model().Name,
+		Board:          clk.Device().Name,
 		ActiveTime:     res.ActiveTime,
 		Energy:         res.Energy,
 		AvgPower:       res.AvgPower,
@@ -424,6 +426,10 @@ type sweepRequest struct {
 	Configs []string `json:"configs,omitempty"`
 	// AllInputs sweeps every input of each program, not just the default.
 	AllInputs bool `json:"allInputs,omitempty"`
+	// Device selects the GPU profile; empty means the K20c. On a non-K20c
+	// device, Configs resolve against that device's DVFS ladder and an empty
+	// Configs means its four canonical configurations.
+	Device string `json:"device,omitempty"`
 }
 
 // handleSweep starts an asynchronous MeasureAll job and returns its id.
@@ -449,14 +455,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			programs = append(programs, p)
 		}
 	}
+	dev, err := s.resolveDevice(req.Device)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	configs := make([]kepler.Clocks, 0, len(req.Configs))
-	if len(req.Configs) == 0 {
+	switch {
+	case len(req.Configs) == 0 && dev == kepler.K20cDevice():
 		configs = append(configs, s.cfg.Configs...)
-	} else {
+	case len(req.Configs) == 0:
+		configs = append(configs, dev.Configurations()...)
+	case dev == kepler.K20cDevice():
 		for _, name := range req.Configs {
 			c, ok := s.configs[name]
 			if !ok {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown config %q", name))
+				return
+			}
+			configs = append(configs, c)
+		}
+	default:
+		for _, name := range req.Configs {
+			c, err := dev.ConfigByName(name)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown config %q on device %s", name, dev.Name))
 				return
 			}
 			configs = append(configs, c)
@@ -481,8 +504,11 @@ type frontierRequest struct {
 	Program string `json:"program"`
 	// Input defaults to the program's default input when empty.
 	Input string `json:"input,omitempty"`
-	// Spec overrides the dense DVFS grid; nil uses kepler.DefaultGridSpec.
+	// Spec overrides the dense DVFS grid; nil uses the device's default grid.
 	Spec *kepler.GridSpec `json:"spec,omitempty"`
+	// Device selects the GPU profile whose ladder is gridded; empty means
+	// the K20c.
+	Device string `json:"device,omitempty"`
 }
 
 // frontierPointView is one grid configuration in the frontier summary.
@@ -583,15 +609,20 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	input := req.Input
 	if input == "" {
 		input = p.DefaultInput()
-	} else if _, _, _, err := s.resolve(req.Program, input, ""); err != nil {
+	} else if _, _, _, err := s.resolve(req.Program, input, "", req.Device); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	spec := kepler.DefaultGridSpec()
+	dev, err := s.resolveDevice(req.Device)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec := dev.DefaultGrid()
 	if req.Spec != nil {
 		spec = *req.Spec
 	}
-	grid, err := kepler.Grid(spec)
+	grid, err := dev.Grid(spec)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -602,7 +633,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	interp := reg.Counter("frontier_interpolated")
 	progress := func() (int64, int64) { return replays.Value() + interp.Value(), 0 }
 	j := s.jobs.start(s.baseCtx, len(grid), progress, func(ctx context.Context) (any, error) {
-		res, err := frontier.Sweep(ctx, s.runner, p, frontier.Options{Spec: spec, Input: input})
+		res, err := frontier.Sweep(ctx, s.runner, p, frontier.Options{Device: dev, Spec: spec, Input: input})
 		if err != nil {
 			return nil, err
 		}
@@ -664,18 +695,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // resolve validates and resolves the request's names against the served
-// program and configuration sets.
-func (s *Server) resolve(program, input, config string) (core.Program, kepler.Clocks, string, error) {
+// program, device and configuration sets. An empty device means the K20c
+// and resolves configs against the server's configured set; any other
+// device resolves configs against that device's own DVFS ladder.
+func (s *Server) resolve(program, input, config, device string) (core.Program, kepler.Clocks, string, error) {
 	p, ok := s.programs[program]
 	if !ok {
 		return nil, kepler.Clocks{}, "", fmt.Errorf("unknown program %q", program)
 	}
+	dev, err := s.resolveDevice(device)
+	if err != nil {
+		return nil, kepler.Clocks{}, "", err
+	}
 	if config == "" {
 		config = "default"
 	}
-	clk, ok := s.configs[config]
-	if !ok {
-		return nil, kepler.Clocks{}, "", fmt.Errorf("unknown config %q", config)
+	var clk kepler.Clocks
+	if dev == kepler.K20cDevice() {
+		clk, ok = s.configs[config]
+		if !ok {
+			return nil, kepler.Clocks{}, "", fmt.Errorf("unknown config %q", config)
+		}
+	} else {
+		clk, err = dev.ConfigByName(config)
+		if err != nil {
+			return nil, kepler.Clocks{}, "", fmt.Errorf("unknown config %q on device %s", config, dev.Name)
+		}
 	}
 	if input == "" {
 		input = p.DefaultInput()
@@ -692,6 +737,16 @@ func (s *Server) resolve(program, input, config string) (core.Program, kepler.Cl
 		}
 	}
 	return p, clk, input, nil
+}
+
+// resolveDevice maps a request's device name to its profile; empty means
+// the K20c. Unknown names surface as a 400 through the callers.
+func (s *Server) resolveDevice(device string) (*kepler.Device, error) {
+	dev, err := kepler.DeviceByName(device)
+	if err != nil {
+		return nil, fmt.Errorf("unknown device %q", device)
+	}
+	return dev, nil
 }
 
 // maxBodyBytes bounds request bodies; the API's requests are tiny.

@@ -77,11 +77,20 @@ type captureEvent struct {
 type LaunchTrace struct {
 	events []captureEvent
 
+	// device names the GPU description the trace was captured on. Block
+	// statistics and issue cycles depend on the device's geometry and
+	// throughputs, so a trace only ever replays on the device it was
+	// captured for (Replay enforces it).
+	device string
+
 	sensitive bool
 	reason    string
 
 	bytes int64
 }
+
+// DeviceName returns the name of the device the trace was captured on.
+func (t *LaunchTrace) DeviceName() string { return t.device }
 
 // ClockSensitive reports whether the captured run's Go-side behaviour could
 // depend on the clock configuration, making cross-config replay unsound.
@@ -128,7 +137,7 @@ func (d *Device) BeginCapture() {
 	if d.capture != nil {
 		panic("sim: BeginCapture while a capture is active")
 	}
-	d.capture = &LaunchTrace{}
+	d.capture = &LaunchTrace{device: d.desc.Name}
 }
 
 // EndCapture stops capturing and returns the trace. The trace is
@@ -203,6 +212,9 @@ func (t *LaunchTrace) recordRepeat(index, n int) {
 func (t *LaunchTrace) Replay(clk kepler.Clocks) (*Device, error) {
 	if t.sensitive {
 		return nil, fmt.Errorf("sim: trace is clock-sensitive (%s); replay would be unsound", t.reason)
+	}
+	if dev := clk.Device().Name; t.device != "" && dev != t.device {
+		return nil, fmt.Errorf("sim: trace captured on device %s cannot replay on %s: block statistics and issue cycles are device-dependent", t.device, dev)
 	}
 	d := NewDevice(clk)
 	for i := range t.events {

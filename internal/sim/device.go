@@ -73,6 +73,10 @@ type Device struct {
 	// Clocks is the DVFS/ECC configuration the device runs at.
 	Clocks kepler.Clocks
 
+	// desc is the GPU description the configuration belongs to (geometry,
+	// throughputs, memory hierarchy); cached from Clocks.Device().
+	desc *kepler.Device
+
 	// Launches is the ordered record of every kernel launch.
 	Launches []*Launch
 	// Gaps records host-side pauses between launches.
@@ -111,6 +115,7 @@ type Device struct {
 func NewDevice(clk kepler.Clocks) *Device {
 	d := &Device{
 		Clocks:         clk,
+		desc:           clk.Device(),
 		nextAddr:       4096, // keep 0 unused so Addr(0) can mean "nil"
 		interLaunchGap: 40e-6,
 		timeScale:      1,

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kepler"
+)
+
+// TestReplayRefusesCrossDevice: block statistics and issue cycles in a
+// captured trace depend on the capture device's geometry and throughputs,
+// so a trace must only ever replay on the device it was captured on — in
+// either direction.
+func TestReplayRefusesCrossDevice(t *testing.T) {
+	gtx, err := kepler.DeviceByName("GTX1080")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k20dev := NewDevice(kepler.Default)
+	k20dev.BeginCapture()
+	captureProgram(k20dev)
+	k20tr := k20dev.EndCapture()
+	if k20tr.DeviceName() != "K20c" {
+		t.Errorf("K20c trace tagged %q", k20tr.DeviceName())
+	}
+
+	if _, err := k20tr.Replay(gtx.DefaultConfig()); err == nil {
+		t.Fatal("K20c trace replayed on the GTX1080 timing model")
+	} else if !strings.Contains(err.Error(), "K20c") || !strings.Contains(err.Error(), "GTX1080") {
+		t.Errorf("cross-device refusal %q does not name both devices", err)
+	}
+	// Same device, different clocks: still fine.
+	if _, err := k20tr.Replay(kepler.F614); err != nil {
+		t.Fatalf("same-device replay failed: %v", err)
+	}
+
+	// And the reverse direction.
+	gdev := NewDevice(gtx.DefaultConfig())
+	gdev.BeginCapture()
+	captureProgram(gdev)
+	gtr := gdev.EndCapture()
+	if gtr.DeviceName() != "GTX1080" {
+		t.Errorf("GTX1080 trace tagged %q", gtr.DeviceName())
+	}
+	if _, err := gtr.Replay(kepler.Default); err == nil {
+		t.Fatal("GTX1080 trace replayed on the K20c timing model")
+	}
+	cfgs := gtx.Configurations()
+	if _, err := gtr.Replay(cfgs[1]); err != nil {
+		t.Fatalf("same-device replay failed: %v", err)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/kepler"
 	"repro/internal/trace"
 )
 
@@ -72,13 +71,13 @@ func (d *Device) LaunchSpec(spec LaunchSpec, fn ThreadFunc) *Launch {
 		panic("sim: launch with empty grid or block")
 	}
 	d.checkCanceled()
-	if spec.Block > kepler.MaxThreadsPerBlock {
+	if spec.Block > d.desc.MaxThreadsPerBlock {
 		panic("sim: block size exceeds device limit")
 	}
 
 	seq := d.seq
 	d.seq++
-	occ := kepler.ComputeOccupancy(spec.Block, spec.SharedPerBlock)
+	occ := d.desc.ComputeOccupancy(spec.Block, spec.SharedPerBlock)
 
 	if cap(d.blockCycles) < spec.Grid {
 		d.blockCycles = make([]float64, spec.Grid)
@@ -132,7 +131,7 @@ func (d *Device) runOrdered(spec LaunchSpec, fn ThreadFunc, seed uint64, blockCy
 	for i := 0; i < spec.Grid; i++ {
 		d.checkCanceled()
 		bs := d.exec.runBlock(spec, fn, b)
-		blockCycles[b] = issueCycles(&bs)
+		blockCycles[b] = issueCycles(d.desc, &bs)
 		stats.Add(&bs)
 
 		b += stride
@@ -179,7 +178,7 @@ func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float6
 		for b := 0; b < spec.Grid; b++ {
 			d.checkCanceled()
 			bs := d.exec.runBlock(spec, fn, b)
-			blockCycles[b] = issueCycles(&bs)
+			blockCycles[b] = issueCycles(d.desc, &bs)
 			stats.Add(&bs)
 		}
 		return
@@ -201,7 +200,7 @@ func (d *Device) runSharded(spec LaunchSpec, fn ThreadFunc, blockCycles []float6
 				return
 			}
 			bs := e.runBlock(spec, fn, b)
-			blockCycles[b] = issueCycles(&bs)
+			blockCycles[b] = issueCycles(d.desc, &bs)
 			partials[w].Add(&bs)
 		}
 	}

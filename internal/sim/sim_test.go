@@ -28,7 +28,7 @@ func TestAllocECCCapacitySmaller(t *testing.T) {
 			t.Error("expected out-of-memory panic under ECC")
 		}
 	}()
-	d.Alloc(int64(float64(kepler.DRAMBytes) * 0.95))
+	d.Alloc(int64(float64(kepler.K20cDevice().DRAMBytes) * 0.95))
 }
 
 func TestArrayAt(t *testing.T) {
@@ -362,7 +362,7 @@ func TestBiggerBoardIsFaster(t *testing.T) {
 		return l.Duration
 	}
 	k20c := run(kepler.Default)
-	k40 := run(kepler.K40.Configurations()[0])
+	k40 := run(kepler.Models[3].Configurations()[0])
 	if k40 >= k20c {
 		t.Errorf("K40 (%g s) not faster than K20c (%g s)", k40, k20c)
 	}

@@ -7,17 +7,17 @@ import (
 	"repro/internal/trace"
 )
 
-// issueCycles returns the SM issue cycles a set of warp instructions needs,
-// limited by the most contended functional-unit class. Barriers add a fixed
-// drain cost.
-func issueCycles(s *trace.KernelStats) float64 {
+// issueCycles returns the SM issue cycles a set of warp instructions needs
+// on the given device, limited by the most contended functional-unit class.
+// Barriers add a fixed drain cost.
+func issueCycles(d *kepler.Device, s *trace.KernelStats) float64 {
 	ldst := float64(s.LoadSlots+s.StoreSlots+s.Atomics) + float64(s.SharedCycles)
-	cyc := float64(s.TotalIssueSlots()) / kepler.IssueRate
-	cyc = math.Max(cyc, float64(s.IntInsts)/kepler.IntRate)
-	cyc = math.Max(cyc, float64(s.FP32Insts)/kepler.FP32Rate)
-	cyc = math.Max(cyc, float64(s.FP64Insts)/kepler.FP64Rate)
-	cyc = math.Max(cyc, float64(s.SFUInsts)/kepler.SFURate)
-	cyc = math.Max(cyc, ldst/kepler.LDSTRate)
+	cyc := float64(s.TotalIssueSlots()) / d.Rates.Issue
+	cyc = math.Max(cyc, float64(s.IntInsts)/d.Rates.Int)
+	cyc = math.Max(cyc, float64(s.FP32Insts)/d.Rates.FP32)
+	cyc = math.Max(cyc, float64(s.FP64Insts)/d.Rates.FP64)
+	cyc = math.Max(cyc, float64(s.SFUInsts)/d.Rates.SFU)
+	cyc = math.Max(cyc, ldst/d.Rates.LDST)
 	// Barriers stall the warp briefly; most of the latency is hidden by
 	// other resident warps, so only a small issue cost remains.
 	cyc += float64(s.Syncs) * 4
@@ -40,6 +40,7 @@ func issueCycles(s *trace.KernelStats) float64 {
 //   - Atomics are serviced at a device-wide rate in the core-clock domain,
 //     with same-address conflicts serialized.
 func kernelTime(clk kepler.Clocks, occ kepler.Occupancy, s *trace.KernelStats, blockCycles []float64) (total, tCore, tMem float64) {
+	desc := clk.Device()
 	coreHz := clk.CoreHz()
 	sms := clk.SMCount()
 
@@ -88,14 +89,14 @@ func kernelTime(clk kepler.Clocks, occ kepler.Occupancy, s *trace.KernelStats, b
 	txns := float64(s.GlobalTxns)
 	if clk.ECC {
 		// Scattered transactions can't amortize ECC-word fetches.
-		txns *= 1 + 0.30*(1-s.CoalescingEfficiency())
+		txns *= 1 + desc.ECC.BandwidthPenalty*(1-s.CoalescingEfficiency())
 	}
-	tMemBW := txns * kepler.SegmentBytes / clk.MemBandwidth()
+	tMemBW := txns * float64(desc.SegmentBytes) / clk.MemBandwidth()
 	residentWarps := float64(sms * actualWarpsPerSM)
 	if total := float64(s.Warps); total < residentWarps && total > 0 {
 		residentWarps = total
 	}
-	concurrency := residentWarps * kepler.MaxOutstandingPerWarp
+	concurrency := residentWarps * float64(desc.MaxOutstandingPerWarp)
 	if concurrency < 1 {
 		concurrency = 1
 	}

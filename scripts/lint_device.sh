@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Device-description lint: the PR that introduced data-driven GPU profiles
+# removed the hard-wired K20c package constants (kepler.SMs, kepler.FP64Rate,
+# ...) in favor of fields on kepler.Device. Any new `kepler.<Constant>`
+# reference outside the device package would be a compile error today, but a
+# well-meaning re-introduction of one of those constants (plus its uses)
+# would silently re-fork the hardware description away from the JSON
+# profiles. This grep gate fails CI when a removed name reappears as a
+# kepler selector anywhere outside internal/kepler. kepler.WarpSize is
+# deliberately NOT on the list: the warp width is an architectural invariant
+# across every profile we model and remains a package constant.
+#
+# Usage: scripts/lint_device.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+removed='SMs|PEsPerSM|SchedulersPerSM|MaxThreadsPerSM|MaxBlocksPerSM|MaxThreadsPerBlock|SharedMemPerSM|SharedBanks|SegmentBytes|DRAMBytes|ECCCapacityLoss|BusBytesPerMemClock|DRAMLatencyMemClocks|MaxOutstandingPerWarp|IssueRate|FP32Rate|FP64Rate|IntRate|SFURate|LDSTRate'
+
+while IFS= read -r hit; do
+    case "${hit%%:*}" in
+    internal/kepler/*) ;;
+    *)
+        echo "lint_device: removed K20c constant referenced outside the device package: $hit" >&2
+        fail=1
+        ;;
+    esac
+done < <(grep -rnE "kepler\.($removed)\b" --include='*.go' cmd/ internal/ examples/ *.go 2>/dev/null || true)
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint_device: FAILED — hardware numbers live on kepler.Device (internal/kepler/devices/*.json); take them from the Clocks' Device()" >&2
+    exit 1
+fi
+echo "lint_device: ok" >&2
