@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke device-smoke bench lint-launch lint-device ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke fabric-smoke device-smoke bench lint-launch lint-device ci
 
 all: ci
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/serve/...
 
 # Short fuzz smoke over the store key codec; seeds plus 10s of mutation.
 fuzz:
@@ -65,6 +65,16 @@ frontier-smoke:
 serve-smoke:
 	$(GO) build -o /tmp/gpuchard-smoke ./cmd/gpuchard
 	./scripts/serve_smoke.sh /tmp/gpuchard-smoke /tmp/gpuchard-smoke-store.json
+
+# Sweep-fabric smoke: a 1-coordinator + 3-worker fleet must merge the
+# byte-identical /v1/results a standalone server produces, the federated
+# /metrics must pass the promtool-style lint (cmd/promlint), and killing a
+# worker must not change the merged bytes. Mirrors the CI fabric-smoke job;
+# needs curl and jq.
+fabric-smoke:
+	$(GO) build -o /tmp/gpuchard-fabric ./cmd/gpuchard
+	$(GO) build -o /tmp/gpuchard-promlint ./cmd/promlint
+	PROMLINT=/tmp/gpuchard-promlint ./scripts/fabric_smoke.sh /tmp/gpuchard-fabric
 
 # Sweep benchmarks bracketing the replay engine (replay on vs NoReplay
 # baseline, plus raw engine throughput and the isolated replay path);

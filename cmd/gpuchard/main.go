@@ -9,20 +9,38 @@
 //	gpuchard -addr :8080 -store sweep.json
 //	gpuchard -addr :8080 -store sweep.json -snapshot 1m -timeout 5m -workers 4
 //
-// Endpoints:
+// The same binary is every role of the distributed sweep fabric:
+//
+//	gpuchard -role standalone                            # default: serve and simulate locally
+//	gpuchard -role worker -peers http://coord:8080       # simulate; share launch traces via the coordinator
+//	gpuchard -role coordinator -peers http://w0:8080,http://w1:8080,http://w2:8080
+//
+// A coordinator never simulates: it consistent-hashes sweep combinations
+// across the ready workers, dispatches them as /v1/shard sub-jobs,
+// re-dispatches the shards of a worker that dies mid-sweep, and merges the
+// results in deterministic store order — byte-identical to the same sweep on
+// one standalone process. Workers are standalone servers that additionally
+// accept shards and (when -peers names the coordinator) fetch and publish
+// launch traces through it, so the fleet captures each (device, program,
+// input) exactly once.
+//
+// Endpoints (all roles speak the same public API):
 //
 //	POST /v1/measure   {"program":"NB","input":"...","config":"614"}
 //	POST /v1/sweep     {"programs":[...],"configs":[...],"allInputs":false}
 //	POST /v1/frontier  {"program":"NB","spec":{...optional DVFS grid...}}
-//	GET  /v1/jobs/{id} sweep/frontier progress (frontier jobs carry the summary when done)
+//	GET  /v1/jobs/{id} sweep/frontier progress (coordinator views include shards)
 //	GET  /v1/results   every cached measurement and exclusion
-//	GET  /metrics      observability registry snapshot (JSON)
+//	GET  /metrics      Prometheus text exposition (coordinator: federated, per-worker label)
+//	GET  /metrics.json observability registry snapshot (legacy JSON)
 //	GET  /healthz      liveness + cache occupancy
+//	GET  /readyz       readiness; flips to 503 the moment a drain starts
 //
-// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
-// get -drain to finish (then their simulations are aborted at the next
-// thread-block boundary), and the store is snapshotted before exit — so a
-// restarted server warm-starts from everything it had measured.
+// SIGINT/SIGTERM drain gracefully: /readyz goes 503 (so a coordinator stops
+// routing to the worker), the listener closes, in-flight requests get -drain
+// to finish (then their simulations are aborted at the next thread-block
+// boundary), and the store is snapshotted before exit — so a restarted
+// server warm-starts from everything it had measured.
 package main
 
 import (
@@ -33,6 +51,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,10 +63,13 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		role     = flag.String("role", "standalone", "process role: standalone, worker or coordinator")
+		peers    = flag.String("peers", "", "comma-separated peer base URLs: the coordinator's workers, or a worker's coordinator (for trace brokering)")
 		store    = flag.String("store", "", "measurement store: loaded at startup, snapshotted periodically and on shutdown")
 		snapshot = flag.Duration("snapshot", time.Minute, "periodic store snapshot interval (0 disables the timer; requires -store)")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-request measurement deadline (0 disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain bound on shutdown before in-flight simulations are aborted (0 waits indefinitely)")
+		health   = flag.Duration("health", 5*time.Second, "coordinator membership staleness bound: ready-worker probes are refreshed at least this often")
 		reps     = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
 		workers  = flag.Int("workers", 0, "simulation worker budget shared by concurrent requests, sweeps and block sharding (0 = GOMAXPROCS)")
 		noreplay = flag.Bool("noreplay", false, "disable the cross-config launch-trace replay cache: simulate every configuration from scratch (never affects measured values)")
@@ -56,20 +78,59 @@ func main() {
 
 	logger := log.New(os.Stderr, "gpuchard: ", log.LstdFlags)
 
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+
 	runner := core.NewRunner()
 	runner.Repetitions = *reps
 	runner.Workers = *workers
 	runner.NoReplay = *noreplay
 
-	srv, err := serve.New(serve.Config{
-		Runner:         runner,
-		Programs:       suites.All(),
-		StorePath:      *store,
-		SnapshotEvery:  *snapshot,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		Log:            logger,
-	})
+	// The fabric server: a Server for standalone/worker, a Coordinator for
+	// coordinator. Both expose the same Serve(ctx, ln) contract.
+	var srv interface {
+		Serve(ctx context.Context, ln net.Listener) error
+	}
+	var err error
+	switch *role {
+	case "standalone", "worker":
+		if *role == "worker" && len(peerList) > 0 {
+			// The worker's first peer is its coordinator: launch traces
+			// captured here are published there, and captures made anywhere
+			// in the fleet are adopted here instead of re-simulating.
+			runner.Broker = serve.NewHTTPTraceBroker(peerList[0], runner.Metrics())
+			logger.Printf("worker: brokering launch traces via %s", peerList[0])
+		}
+		srv, err = serve.New(serve.Config{
+			Runner:         runner,
+			Programs:       suites.All(),
+			StorePath:      *store,
+			SnapshotEvery:  *snapshot,
+			RequestTimeout: *timeout,
+			DrainTimeout:   *drain,
+			Log:            logger,
+		})
+	case "coordinator":
+		if len(peerList) == 0 {
+			logger.Fatal("coordinator: -peers must list at least one worker URL")
+		}
+		srv, err = serve.NewCoordinator(serve.CoordinatorConfig{
+			Runner:        runner,
+			Programs:      suites.All(),
+			Peers:         peerList,
+			StorePath:     *store,
+			SnapshotEvery: *snapshot,
+			DrainTimeout:  *drain,
+			HealthEvery:   *health,
+			Log:           logger,
+		})
+	default:
+		logger.Fatalf("unknown -role %q (want standalone, worker or coordinator)", *role)
+	}
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -84,7 +145,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Printf("listening on %s (%d programs, store %q)", ln.Addr(), len(suites.All()), *store)
+	logger.Printf("%s listening on %s (%d programs, %d peers, store %q)", *role, ln.Addr(), len(suites.All()), len(peerList), *store)
 	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "gpuchard:", err)
 		os.Exit(1)

@@ -1,0 +1,37 @@
+// Command promlint validates a Prometheus text exposition (format 0.0.4)
+// read from stdin: metric and label name syntax, duplicate series, and
+// histogram invariants (sorted cumulative buckets, +Inf present and equal
+// to _count, _sum present). It is the fabric smoke test's promtool stand-in
+// — the same checks `promtool check metrics` would run, with no network and
+// no external binary.
+//
+// Usage:
+//
+//	curl -s http://localhost:8080/metrics | promlint
+//
+// Exit status 0 means the exposition is clean; 1 means problems (one per
+// line on stderr); 2 means stdin could not be read.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/promtext"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint: reading stdin:", err)
+		os.Exit(2)
+	}
+	errs := promtext.LintText(data)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "promlint:", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+}

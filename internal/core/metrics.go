@@ -36,6 +36,14 @@ type runnerMetrics struct {
 	traceSensitiveRuns *obs.Counter
 	traceBytes         *obs.Counter
 
+	// Fleet trace-broker traffic (zero when no Broker is configured): a
+	// fetch hit adopted another worker's capture instead of simulating, a
+	// fetch miss fell through to a local capture, a put published a local
+	// capture to the fleet.
+	brokerFetchHits   *obs.Counter
+	brokerFetchMisses *obs.Counter
+	brokerPuts        *obs.Counter
+
 	// Per-stage duration histograms, keyed by stage name.
 	stageHist map[string]*obs.Histogram
 
@@ -83,6 +91,9 @@ func (r *Runner) metricsHandles() *runnerMetrics {
 			traceSensitive:     reg.Counter("trace_cache_sensitive_traces"),
 			traceSensitiveRuns: reg.Counter("trace_cache_sensitive_runs"),
 			traceBytes:         reg.Counter("trace_cache_bytes"),
+			brokerFetchHits:    reg.Counter("trace_broker_fetch_hits"),
+			brokerFetchMisses:  reg.Counter("trace_broker_fetch_misses"),
+			brokerPuts:         reg.Counter("trace_broker_puts"),
 			stageHist:          make(map[string]*obs.Histogram, len(StageNames)),
 			deviceSim:          make(map[string]*obs.Counter),
 		}

@@ -1,6 +1,11 @@
 package core
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/k20power"
+)
 
 // ResultEntry is one resolved cache entry as listed by Results: either a
 // completed measurement or an insufficient-samples exclusion (the paper's
@@ -48,8 +53,17 @@ func (r *Runner) Results() []ResultEntry {
 		}
 		out = append(out, re)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortResults(out)
+	return out
+}
+
+// SortResults orders entries in the deterministic (program, input, board,
+// config) store order — the order Results lists and SaveStore persists.
+// Workers sort their shard responses with it so the coordinator merges
+// already-canonical fragments.
+func SortResults(entries []ResultEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
 		if a.Program != b.Program {
 			return a.Program < b.Program
 		}
@@ -61,7 +75,67 @@ func (r *Runner) Results() []ResultEntry {
 		}
 		return a.Config < b.Config
 	})
-	return out
+}
+
+// Lookup returns the resolved cache entry for one combination, shaped like
+// a Results element. ok is false while the combination is unresolved (never
+// measured, still in flight, or failed hard).
+func (r *Runner) Lookup(program, input, config, board string) (ResultEntry, bool) {
+	key := joinKey(program, input, config, board)
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	r.mu.Unlock()
+	if !ok || !e.resolved.Load() {
+		return ResultEntry{}, false
+	}
+	re := ResultEntry{Program: program, Input: input, Config: config, Board: board}
+	switch {
+	case e.res != nil:
+		re.Result = e.res
+	case e.err != nil && isInsufficient(e.err):
+		re.Insufficient = true
+	default:
+		return ResultEntry{}, false
+	}
+	return re, true
+}
+
+// ImportResults seeds the cache from entries measured elsewhere (a worker's
+// shard response), mirroring LoadStore's entry construction: completed
+// results and insufficient-sample exclusions both become resolved entries,
+// and existing resolved entries are never overwritten — a local measurement
+// and an imported one are bit-identical anyway (simulation is deterministic
+// per configuration), so first-write-wins keeps pointers stable. Returns
+// the number of entries actually inserted.
+func (r *Runner) ImportResults(entries []ResultEntry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[string]*cacheEntry)
+	}
+	imported := 0
+	for _, re := range entries {
+		if re.Result == nil && !re.Insufficient {
+			continue
+		}
+		key := joinKey(re.Program, re.Input, re.Config, re.Board)
+		if e, ok := r.cache[key]; ok && e.resolved.Load() {
+			continue
+		}
+		e := &cacheEntry{}
+		if re.Insufficient {
+			e.err = fmt.Errorf("%s/%s@%s: %w (cached)", re.Program, re.Input, re.Config,
+				k20power.ErrInsufficientSamples)
+		} else {
+			res := *re.Result
+			e.res = &res
+		}
+		e.once.Do(func() {}) // consume the once
+		e.resolved.Store(true)
+		r.cache[key] = e
+		imported++
+	}
+	return imported
 }
 
 // CacheCounts reports how many cache entries are resolved (measurements and

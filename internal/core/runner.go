@@ -90,6 +90,14 @@ type Runner struct {
 	// corpus and `gpuchar -selfcheck` enforce it), so this is an escape
 	// hatch for debugging and for benchmarking the simulation cost itself.
 	NoReplay bool
+	// Broker, when set, extends the launch-trace cache across a fleet: the
+	// simulate stage consults it before paying for a capture and publishes
+	// successful captures back, so N workers measuring the same (device,
+	// program, input) pair simulate it once fleet-wide. A fetched trace is
+	// replayed exactly like a locally captured one (bit-identical by the
+	// replay contract), so sharded results match single-process results byte
+	// for byte. Must be set before the first Measure call.
+	Broker TraceBroker
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -155,6 +163,18 @@ func (r *Runner) TraceClockSensitive(p Program, input string, clk kepler.Clocks)
 		return false, false
 	}
 	return e.trace.ClockSensitive(), true
+}
+
+// TraceBroker shares launch traces across a fleet of runners. FetchTrace
+// returns the fleet's capture for the (device, program, input) pair, or nil
+// when none exists (or the broker is unreachable — a miss, never an error:
+// the caller falls back to capturing locally). StoreTrace publishes a local
+// capture, including clock-sensitive tombstones so other workers skip the
+// doomed capture attempt; it is best-effort and must not block measurement
+// correctness. Implementations must be safe for concurrent use.
+type TraceBroker interface {
+	FetchTrace(device, program, input string) *sim.LaunchTrace
+	StoreTrace(device, program, input string, tr *sim.LaunchTrace)
 }
 
 // traceKey keys the launch-trace cache by (program, input, device): block
@@ -309,15 +329,25 @@ func perturbTimeline(segs []power.Segment, seed uint64, jitter float64) []power.
 // job) alongside any unrelated failures. Combinations measured before the
 // cancel remain cached.
 func (r *Runner) MeasureAll(ctx context.Context, programs []Program, configs []kepler.Clocks, allInputs bool) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	type job struct {
-		p     Program
-		input string
-		clk   kepler.Clocks
-	}
-	var jobs []job
+	return r.MeasureList(ctx, EnumerateCombos(programs, configs, allInputs))
+}
+
+// Combo identifies one (program, input, configuration) measurement of a
+// sweep. The sweep fabric shards sweeps at Combo granularity.
+type Combo struct {
+	Program Program
+	Input   string
+	Clocks  kepler.Clocks
+}
+
+// EnumerateCombos expands the sweep matrix in the deterministic order
+// MeasureAll has always used: programs in the given order, each program's
+// inputs (the default input unless allInputs), then configs. The
+// coordinator enumerates with the same function, so shard assignment and
+// progress accounting agree with a single-process sweep combination for
+// combination.
+func EnumerateCombos(programs []Program, configs []kepler.Clocks, allInputs bool) []Combo {
+	var combos []Combo
 	for _, p := range programs {
 		inputs := []string{p.DefaultInput()}
 		if allInputs {
@@ -325,10 +355,22 @@ func (r *Runner) MeasureAll(ctx context.Context, programs []Program, configs []k
 		}
 		for _, in := range inputs {
 			for _, clk := range configs {
-				jobs = append(jobs, job{p, in, clk})
+				combos = append(combos, Combo{p, in, clk})
 			}
 		}
 	}
+	return combos
+}
+
+// MeasureList measures the given combinations in parallel with the same
+// semantics as MeasureAll (it is MeasureAll's engine): insufficient-sample
+// failures are the paper's exclusions and not errors, other failures are
+// joined, cancellation is reported once.
+func (r *Runner) MeasureList(ctx context.Context, combos []Combo) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs := combos
 	m := r.metricsHandles()
 	m.sweepJobsTotal.Add(int64(len(jobs)))
 	// Each in-flight job holds one slot of the shared worker pool; the
@@ -341,7 +383,7 @@ func (r *Runner) MeasureAll(ctx context.Context, programs []Program, configs []k
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
-		go func(j job) {
+		go func(j Combo) {
 			defer wg.Done()
 			if err := pool.Acquire(ctx); err != nil {
 				m.sweepJobsCanceled.Inc()
@@ -349,7 +391,7 @@ func (r *Runner) MeasureAll(ctx context.Context, programs []Program, configs []k
 				return
 			}
 			defer pool.Release(1)
-			_, err := r.Measure(ctx, j.p, j.input, j.clk)
+			_, err := r.Measure(ctx, j.Program, j.Input, j.Clocks)
 			switch {
 			case err == nil || isInsufficient(err):
 				m.sweepJobsDone.Inc()

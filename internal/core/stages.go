@@ -108,11 +108,28 @@ func (r *Runner) stageSimulate(st *measureState) error {
 	}
 	e, ok := r.traces[key]
 	if !ok {
-		// First measurement of this (program, input): claim the entry and
-		// simulate with capture.
+		// First measurement of this (program, input) on this runner: claim
+		// the entry. Before paying for a capture, ask the fleet broker (if
+		// any) whether another worker already captured the pair — adopting
+		// its trace replays bit-identically to simulating here.
 		e = &traceEntry{done: make(chan struct{})}
 		r.traces[key] = e
 		r.traceMu.Unlock()
+
+		if r.Broker != nil {
+			dev := st.clk.Device().Name
+			if tr := r.Broker.FetchTrace(dev, st.p.Name(), st.input); tr != nil && tr.DeviceName() == dev {
+				m.brokerFetchHits.Inc()
+				e.trace = tr
+				close(e.done)
+				m.traceBytes.Add(tr.Bytes())
+				if tr.ClockSensitive() {
+					m.traceSensitive.Inc()
+				}
+				return r.consumeTrace(st, tr)
+			}
+			m.brokerFetchMisses.Inc()
+		}
 
 		published := false
 		defer func() {
@@ -140,6 +157,10 @@ func (r *Runner) stageSimulate(st *measureState) error {
 		if tr.ClockSensitive() {
 			m.traceSensitive.Inc()
 		}
+		if r.Broker != nil {
+			r.Broker.StoreTrace(st.clk.Device().Name, st.p.Name(), st.input, tr)
+			m.brokerPuts.Inc()
+		}
 		return nil
 	}
 	r.traceMu.Unlock()
@@ -151,31 +172,39 @@ func (r *Runner) stageSimulate(st *measureState) error {
 	case <-st.ctx.Done():
 		return st.ctx.Err()
 	}
-	tr := e.trace
-	switch {
-	case tr == nil:
+	if e.trace == nil {
 		// The capture failed (typically canceled). Its entry is already
 		// evicted; simulate independently without touching the cache.
 		_, err := r.simulateFresh(st, false)
 		return err
-	case tr.ClockSensitive():
+	}
+	return r.consumeTrace(st, e.trace)
+}
+
+// consumeTrace produces the measurement's device from a published trace:
+// replay when the trace is insensitive, a fresh per-configuration
+// simulation when it is clock-sensitive (or the replay is refused — e.g. a
+// mismatched device, impossible for cache-keyed traces but kept as a
+// defense in depth).
+func (r *Runner) consumeTrace(st *measureState, tr *sim.LaunchTrace) error {
+	m := r.metricsHandles()
+	if tr.ClockSensitive() {
 		// Ordered launches (or mid-run clock reads) make the program's Go
 		// state evolve per configuration: replay would be unsound, so every
 		// configuration pays for its own simulation.
 		m.traceSensitiveRuns.Inc()
 		_, err := r.simulateFresh(st, false)
 		return err
-	default:
-		dev, err := tr.Replay(st.clk)
-		if err != nil {
-			_, err := r.simulateFresh(st, false)
-			return err
-		}
-		dev.SetWorkerPool(r.workerPool())
-		st.dev = dev
-		m.traceReplays.Inc()
-		return nil
 	}
+	dev, err := tr.Replay(st.clk)
+	if err != nil {
+		_, err := r.simulateFresh(st, false)
+		return err
+	}
+	dev.SetWorkerPool(r.workerPool())
+	st.dev = dev
+	m.traceReplays.Inc()
+	return nil
 }
 
 // simulateFresh runs the program on a fresh device, optionally capturing

@@ -1,0 +1,597 @@
+// Package promtext implements the Prometheus text exposition format,
+// version 0.0.4: a writer that renders metric families, a strict parser
+// (the coordinator re-labels and merges worker expositions through it),
+// and a promtool-style linter used by tests and the fabric smoke script.
+//
+// The package is deliberately dependency-free — it exists so the repo can
+// speak and validate the exposition format without vendoring a client
+// library. Only the features gpuchard emits are supported: counter, gauge,
+// histogram and untyped families; no summaries' quantile math, no exemplars,
+// no timestamps on write (timestamps are accepted on parse).
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type header value for the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposed series of a family. Suffix distinguishes the
+// histogram components ("_bucket", "_sum", "_count"); plain counter and
+// gauge samples use the empty suffix. Value keeps the raw rendering so a
+// parse→write round trip is byte-exact.
+type Sample struct {
+	Suffix string
+	Labels []Label
+	Value  string
+}
+
+// Family is one metric family: a name, a TYPE, an optional HELP line and
+// the samples that belong to it.
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "untyped"
+	Help    string
+	Samples []Sample
+}
+
+// validName reports whether s is a legal metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes a HELP docstring (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value (backslash, quote, newline).
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// FormatValue renders a float the way the exposition format expects:
+// shortest decimal representation, with the special values +Inf, -Inf
+// and NaN spelled out.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// parseValue parses a sample value, accepting the special spellings.
+func parseValue(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// Write renders the families in order. Each family emits its HELP line
+// (when non-empty), its TYPE line and its samples; sample labels are
+// written in their stored order.
+func Write(w io.Writer, families []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, typ)
+		for _, s := range f.Samples {
+			bw.WriteString(f.Name)
+			bw.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, `%s="%s"`, l.Name, escapeLabelValue(l.Value))
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(s.Value)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// knownTypes are the TYPE values the parser accepts.
+var knownTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// componentSuffixes lists the sample-name suffixes that attribute a sample
+// to a histogram or summary family.
+var componentSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// Parse reads an exposition document into its metric families, in document
+// order. It is strict about structure: malformed comment lines, invalid
+// names, unparsable samples and duplicate TYPE lines are errors. Samples
+// before their family's TYPE line land in an implicit untyped family (the
+// format allows it); histogram component samples (_bucket/_sum/_count) are
+// attributed to their declared family.
+func Parse(data []byte) ([]Family, error) {
+	var (
+		out   []Family
+		index = map[string]int{} // family name -> out index
+	)
+	family := func(name string) *Family {
+		if i, ok := index[name]; ok {
+			return &out[i]
+		}
+		index[name] = len(out)
+		out = append(out, Family{Name: name, Type: "untyped"})
+		return &out[len(out)-1]
+	}
+	// attribute finds the family a sample name belongs to, honoring
+	// histogram/summary component suffixes of declared families.
+	attribute := func(name string) (*Family, string) {
+		if i, ok := index[name]; ok {
+			return &out[i], ""
+		}
+		for _, suf := range componentSuffixes {
+			base, ok := strings.CutSuffix(name, suf)
+			if !ok {
+				continue
+			}
+			if i, ok := index[base]; ok && (out[i].Type == "histogram" || out[i].Type == "summary") {
+				return &out[i], suf
+			}
+		}
+		return family(name), ""
+	}
+
+	lineNo := 0
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			rest := strings.TrimPrefix(trimmed, "#")
+			rest = strings.TrimLeft(rest, " ")
+			kw, rest, _ := strings.Cut(rest, " ")
+			switch kw {
+			case "HELP":
+				name, doc, _ := strings.Cut(rest, " ")
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, name)
+				}
+				f := family(name)
+				f.Help = unescapeHelp(doc)
+			case "TYPE":
+				name, typ, ok := strings.Cut(rest, " ")
+				typ = strings.TrimSpace(typ)
+				if !ok || !validName(name) || !knownTypes[typ] {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, trimmed)
+				}
+				f := family(name)
+				if f.Type != "untyped" && f.Type != typ {
+					return nil, fmt.Errorf("line %d: family %s redeclared as %s (was %s)", lineNo, name, typ, f.Type)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = typ
+			default:
+				// Plain comment: ignored.
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f, suffix := attribute(name)
+		f.Samples = append(f.Samples, Sample{Suffix: suffix, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (name string, labels []Label, value string, err error) {
+	rest := strings.TrimSpace(line)
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
+		i++
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, "", fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return "", nil, "", fmt.Errorf("sample %s: want value [timestamp], got %q", name, rest)
+	}
+	value = fields[0]
+	if _, err := parseValue(value); err != nil {
+		return "", nil, "", fmt.Errorf("sample %s: bad value %q", name, value)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, "", fmt.Errorf("sample %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a {name="value",...} block, returning the remainder of
+// the line after the closing brace.
+func parseLabels(s string) ([]Label, string, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, s, fmt.Errorf("missing label block")
+	}
+	s = s[1:]
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, s, fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, s, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, s, fmt.Errorf("label %s: unquoted value", name)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, s, fmt.Errorf("label %s: %w", name, err)
+		}
+		labels = append(labels, Label{Name: name, Value: val})
+		s = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// parseQuoted parses a leading quoted string with \" \\ \n escapes.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+// labelsKey renders a label set as a canonical comparison key (sorted by
+// label name).
+func labelsKey(labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// labelValue returns the value of the named label, or "".
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// dropLabel returns labels without the named label.
+func dropLabel(labels []Label, name string) []Label {
+	out := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Lint validates the families the way promtool's check would: legal metric
+// and label names, no duplicate series, parsable values, and structurally
+// sound histograms (per label set: cumulative non-decreasing buckets with
+// parsable "le" bounds, a "+Inf" bucket, and _count equal to the +Inf
+// bucket). It returns every problem found.
+func Lint(families []Family) []error {
+	var errs []error
+	seenFamily := map[string]bool{}
+	for _, f := range families {
+		if !validName(f.Name) {
+			errs = append(errs, fmt.Errorf("family %q: invalid metric name", f.Name))
+			continue
+		}
+		if seenFamily[f.Name] {
+			errs = append(errs, fmt.Errorf("family %s: declared twice", f.Name))
+		}
+		seenFamily[f.Name] = true
+		if !knownTypes[f.Type] && f.Type != "" {
+			errs = append(errs, fmt.Errorf("family %s: unknown type %q", f.Name, f.Type))
+		}
+		seenSeries := map[string]bool{}
+		for _, s := range f.Samples {
+			for _, l := range s.Labels {
+				if !validLabelName(l.Name) {
+					errs = append(errs, fmt.Errorf("family %s: invalid label name %q", f.Name, l.Name))
+				}
+			}
+			if _, err := parseValue(s.Value); err != nil {
+				errs = append(errs, fmt.Errorf("family %s: bad value %q", f.Name, s.Value))
+			}
+			key := s.Suffix + "\x00" + labelsKey(s.Labels)
+			if seenSeries[key] {
+				errs = append(errs, fmt.Errorf("family %s: duplicate series %s{%s}", f.Name, s.Suffix, labelsKey(s.Labels)))
+			}
+			seenSeries[key] = true
+			if f.Type != "histogram" && f.Type != "summary" && s.Suffix != "" {
+				errs = append(errs, fmt.Errorf("family %s: suffix %q on %s family", f.Name, s.Suffix, f.Type))
+			}
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// lintHistogram checks one histogram family's bucket structure per label
+// set (the label set minus "le").
+type histSeries struct {
+	buckets []bucketSample
+	count   *float64
+	sum     bool
+}
+
+type bucketSample struct {
+	le    float64
+	value float64
+}
+
+func lintHistogram(f Family) []error {
+	var errs []error
+	series := map[string]*histSeries{}
+	get := func(labels []Label) *histSeries {
+		key := labelsKey(dropLabel(labels, "le"))
+		hs, ok := series[key]
+		if !ok {
+			hs = &histSeries{}
+			series[key] = hs
+		}
+		return hs
+	}
+	for _, s := range f.Samples {
+		v, err := parseValue(s.Value)
+		if err != nil {
+			continue // reported by Lint already
+		}
+		switch s.Suffix {
+		case "_bucket":
+			leStr, ok := labelValue(s.Labels, "le")
+			if !ok {
+				errs = append(errs, fmt.Errorf("family %s: _bucket without le label", f.Name))
+				continue
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("family %s: bad le %q", f.Name, leStr))
+				continue
+			}
+			hs := get(s.Labels)
+			hs.buckets = append(hs.buckets, bucketSample{le: le, value: v})
+		case "_count":
+			hs := get(s.Labels)
+			c := v
+			hs.count = &c
+		case "_sum":
+			get(s.Labels).sum = true
+		default:
+			errs = append(errs, fmt.Errorf("family %s: stray histogram sample with suffix %q", f.Name, s.Suffix))
+		}
+	}
+	for _, hs := range series {
+		if len(hs.buckets) == 0 {
+			errs = append(errs, fmt.Errorf("family %s: histogram series without buckets", f.Name))
+			continue
+		}
+		sort.Slice(hs.buckets, func(i, j int) bool { return hs.buckets[i].le < hs.buckets[j].le })
+		last := hs.buckets[len(hs.buckets)-1]
+		if !math.IsInf(last.le, 1) {
+			errs = append(errs, fmt.Errorf("family %s: histogram series missing +Inf bucket", f.Name))
+		}
+		for i := 1; i < len(hs.buckets); i++ {
+			if hs.buckets[i].value < hs.buckets[i-1].value {
+				errs = append(errs, fmt.Errorf("family %s: bucket counts decrease at le=%v", f.Name, hs.buckets[i].le))
+			}
+		}
+		if hs.count == nil {
+			errs = append(errs, fmt.Errorf("family %s: histogram series missing _count", f.Name))
+		} else if math.IsInf(last.le, 1) && last.value != *hs.count {
+			errs = append(errs, fmt.Errorf("family %s: +Inf bucket %v != _count %v", f.Name, last.value, *hs.count))
+		}
+		if !hs.sum {
+			errs = append(errs, fmt.Errorf("family %s: histogram series missing _sum", f.Name))
+		}
+	}
+	return errs
+}
+
+// LintText parses and lints an exposition document in one step.
+func LintText(data []byte) []error {
+	families, err := Parse(data)
+	if err != nil {
+		return []error{err}
+	}
+	return Lint(families)
+}
+
+// AddLabel prepends the label to every sample of every family (skipping
+// samples that already carry it). The coordinator uses it to tag worker
+// expositions before federating them.
+func AddLabel(families []Family, name, value string) {
+	for fi := range families {
+		f := &families[fi]
+		for si := range f.Samples {
+			if _, ok := labelValue(f.Samples[si].Labels, name); ok {
+				continue
+			}
+			f.Samples[si].Labels = append([]Label{{Name: name, Value: value}}, f.Samples[si].Labels...)
+		}
+	}
+}
+
+// Merge combines family lists from several sources into one list with a
+// single entry per family name (the exposition format forbids repeating a
+// TYPE line), concatenating samples in source order. Type and help come
+// from the first source that declares them; a type conflict is an error.
+// The merged list is sorted by family name.
+func Merge(sources ...[]Family) ([]Family, error) {
+	var (
+		out   []Family
+		index = map[string]int{}
+	)
+	for _, src := range sources {
+		for _, f := range src {
+			i, ok := index[f.Name]
+			if !ok {
+				index[f.Name] = len(out)
+				out = append(out, f)
+				continue
+			}
+			dst := &out[i]
+			if dst.Type == "untyped" && f.Type != "" {
+				dst.Type = f.Type
+			} else if f.Type != "" && f.Type != "untyped" && f.Type != dst.Type {
+				return nil, fmt.Errorf("family %s: type conflict %s vs %s", f.Name, dst.Type, f.Type)
+			}
+			if dst.Help == "" {
+				dst.Help = f.Help
+			}
+			dst.Samples = append(dst.Samples, f.Samples...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

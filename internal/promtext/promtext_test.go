@@ -1,0 +1,209 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sample exposition exercising all the features the package emits: help
+// escaping, labels, histograms with cumulative buckets, untyped families.
+const sampleDoc = `# HELP gpuchard_jobs_total Jobs started.
+# TYPE gpuchard_jobs_total counter
+gpuchard_jobs_total 42
+# TYPE gpuchard_pool_workers gauge
+gpuchard_pool_workers{worker="w0"} 4
+gpuchard_pool_workers{worker="w1"} 2
+# HELP gpuchard_stage_seconds Stage durations.
+# TYPE gpuchard_stage_seconds histogram
+gpuchard_stage_seconds_bucket{le="0.1"} 1
+gpuchard_stage_seconds_bucket{le="1"} 3
+gpuchard_stage_seconds_bucket{le="+Inf"} 4
+gpuchard_stage_seconds_sum 2.5
+gpuchard_stage_seconds_count 4
+`
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	families, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(families))
+	}
+	if families[0].Type != "counter" || families[0].Help != "Jobs started." {
+		t.Errorf("counter family parsed wrong: %+v", families[0])
+	}
+	if families[2].Type != "histogram" || len(families[2].Samples) != 5 {
+		t.Errorf("histogram family parsed wrong: %+v", families[2])
+	}
+	// The histogram components must attribute to their declared family.
+	suffixes := map[string]int{}
+	for _, s := range families[2].Samples {
+		suffixes[s.Suffix]++
+	}
+	if suffixes["_bucket"] != 3 || suffixes["_sum"] != 1 || suffixes["_count"] != 1 {
+		t.Errorf("histogram suffix attribution: %v", suffixes)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, families); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != sampleDoc {
+		t.Errorf("round trip not byte-exact:\n--- got ---\n%s--- want ---\n%s", buf.String(), sampleDoc)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"bad metric name", "9bad_name 1\n"},
+		{"bad value", "metric notanumber\n"},
+		{"bad TYPE", "# TYPE metric frobnicator\n"},
+		{"type redeclared", "# TYPE m counter\n# TYPE m gauge\n"},
+		{"type after samples", "m 1\n# TYPE m counter\n"},
+		{"unterminated label", `m{a="x 1` + "\n"},
+		{"bad timestamp", "m 1 notatime\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: Parse accepted %q", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestParseLabelEscapes(t *testing.T) {
+	doc := `m{path="a\\b",msg="say \"hi\"\n"} 1` + "\n"
+	families, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := families[0].Samples[0].Labels
+	if labels[0].Value != `a\b` {
+		t.Errorf("backslash unescape: %q", labels[0].Value)
+	}
+	if labels[1].Value != "say \"hi\"\n" {
+		t.Errorf("quote/newline unescape: %q", labels[1].Value)
+	}
+	// And the escapes survive a write round trip.
+	var buf bytes.Buffer
+	if err := Write(&buf, families); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `path="a\\b"`) || !strings.Contains(buf.String(), `\"hi\"\n`) {
+		t.Errorf("escapes lost on write: %s", buf.String())
+	}
+}
+
+func TestLintCatchesHistogramViolations(t *testing.T) {
+	cases := []struct{ name, doc, wantErr string }{
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		{
+			"decreasing buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"decrease",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 7\n",
+			"_count",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"_sum",
+		},
+		{
+			"duplicate series",
+			"# TYPE c counter\nc{a=\"1\"} 1\nc{a=\"1\"} 2\n",
+			"duplicate",
+		},
+	}
+	for _, tc := range cases {
+		errs := LintText([]byte(tc.doc))
+		if len(errs) == 0 {
+			t.Errorf("%s: lint found nothing", tc.name)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.wantErr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: errors %v, want one containing %q", tc.name, errs, tc.wantErr)
+		}
+	}
+	if errs := LintText([]byte(sampleDoc)); len(errs) != 0 {
+		t.Errorf("clean document flagged: %v", errs)
+	}
+}
+
+func TestAddLabelAndMerge(t *testing.T) {
+	a, err := Parse([]byte("# TYPE jobs counter\njobs 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte("# TYPE jobs counter\njobs 2\n# TYPE extra gauge\nextra 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddLabel(a, "worker", "w0")
+	AddLabel(b, "worker", "w1")
+	// AddLabel must not double-label samples that already carry the label.
+	AddLabel(b, "worker", "w1-again")
+	if v, _ := labelValue(b[0].Samples[0].Labels, "worker"); v != "w1" {
+		t.Errorf("worker label overwritten: %q", v)
+	}
+
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("merged %d families, want 2 (jobs + extra)", len(merged))
+	}
+	// Sorted by name: extra, jobs — and jobs has both workers' samples
+	// under a single TYPE declaration.
+	if merged[0].Name != "extra" || merged[1].Name != "jobs" {
+		t.Errorf("merge order: %s, %s", merged[0].Name, merged[1].Name)
+	}
+	if len(merged[1].Samples) != 2 {
+		t.Errorf("jobs samples = %d, want 2", len(merged[1].Samples))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "# TYPE jobs") != 1 {
+		t.Errorf("merged exposition repeats the TYPE line:\n%s", buf.String())
+	}
+	if errs := LintText(buf.Bytes()); len(errs) != 0 {
+		t.Errorf("merged exposition not lint-clean: %v", errs)
+	}
+
+	// A type conflict across sources is an error, not silent corruption.
+	c, _ := Parse([]byte("# TYPE jobs gauge\njobs 3\n"))
+	if _, err := Merge(a, c); err == nil {
+		t.Error("Merge accepted a counter/gauge conflict")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		0.25:    "0.25",
+		1e21:    "1e+21",
+		-1.5e-9: "-1.5e-09",
+	}
+	for v, want := range cases {
+		if got := FormatValue(v); got != want {
+			t.Errorf("FormatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

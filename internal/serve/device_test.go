@@ -75,10 +75,10 @@ func TestMeasureDeviceRoundTrip(t *testing.T) {
 		}
 	}
 
-	// The per-device simulate counters surface on /metrics.
-	code, data := getJSON(t, ts.URL+"/metrics")
+	// The per-device simulate counters surface on /metrics.json.
+	code, data := getJSON(t, ts.URL+"/metrics.json")
 	if code != http.StatusOK {
-		t.Fatalf("/metrics: status %d", code)
+		t.Fatalf("/metrics.json: status %d", code)
 	}
 	var snap struct {
 		Counters map[string]int64 `json:"counters"`

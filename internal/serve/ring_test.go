@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = comboKey("K20c", fmt.Sprintf("prog-%d", i%7), fmt.Sprintf("in-%d", i%3), fmt.Sprintf("cfg-%d", i))
+	}
+	return keys
+}
+
+// TestRingDeterministic: ownership is a pure function of the member set —
+// member order must not matter, and repeated builds agree. This is what lets
+// every coordinator (and a restarted one) route a combination to the same
+// worker's cache.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"w0", "w1", "w2"})
+	b := newRing([]string{"w2", "w0", "w1"})
+	for _, k := range ringKeys(200) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("owner(%q) differs across member orderings: %q vs %q", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// TestRingStability: removing one member must only move the keys that member
+// owned. Keys owned by survivors keep their owner — a worker death does not
+// reshuffle the whole fleet's caches.
+func TestRingStability(t *testing.T) {
+	full := newRing([]string{"w0", "w1", "w2"})
+	without := newRing([]string{"w0", "w2"})
+	moved := 0
+	for _, k := range ringKeys(500) {
+		before := full.owner(k)
+		after := without.owner(k)
+		if before != "w1" {
+			if after != before {
+				t.Errorf("key %q moved from surviving %q to %q when w1 left", k, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == "w1" || after == "" {
+			t.Errorf("orphaned key %q reassigned to %q", k, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("w1 owned no keys out of 500 — ring badly unbalanced")
+	}
+}
+
+// TestRingBalance: with 64 vnodes each, a 3-worker ring should spread 3000
+// keys roughly evenly. The bound is loose (half to double the fair share) —
+// this guards against gross placement bugs, not statistical perfection.
+func TestRingBalance(t *testing.T) {
+	members := []string{"w0", "w1", "w2"}
+	r := newRing(members)
+	counts := map[string]int{}
+	for _, k := range ringKeys(3000) {
+		counts[r.owner(k)]++
+	}
+	fair := 3000 / len(members)
+	for _, m := range members {
+		if counts[m] < fair/2 || counts[m] > fair*2 {
+			t.Errorf("member %s owns %d of 3000 keys (fair share %d)", m, counts[m], fair)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := newRing(nil).owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+}

@@ -32,7 +32,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/k20power"
 	"repro/internal/kepler"
 	"repro/internal/obs"
+	"repro/internal/promtext"
 )
 
 // Config configures a Server.
@@ -70,19 +73,27 @@ type Config struct {
 	Log *log.Logger
 }
 
-// Server is the HTTP measurement service.
+// Server is the HTTP measurement service: the standalone gpuchard process
+// and the fleet's worker role are the same Server — a worker simply also
+// accepts coordinator-dispatched /v1/shard sub-jobs and (optionally) shares
+// launch traces through the Runner's Broker.
 type Server struct {
-	cfg      Config
-	runner   *core.Runner
-	programs map[string]core.Program
-	configs  map[string]kepler.Clocks
-	jobs     *jobRegistry
-	handler  http.Handler
+	cfg     Config
+	runner  *core.Runner
+	res     *resolver
+	jobs    *jobRegistry
+	handler http.Handler
 
 	// baseCtx parents every request's measurement context; cancelBase
 	// aborts all in-flight simulations (the hard-stop half of the drain).
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
+
+	// ready is the /readyz verdict: true once the store is warmed and the
+	// worker pool sized, false again the moment a drain starts — before the
+	// HTTP shutdown — so a coordinator probing readiness drops the worker
+	// from membership and starts re-dispatching early.
+	ready atomic.Bool
 
 	// saveMu serializes store snapshots (each is atomic on its own; the
 	// mutex just prevents pointless concurrent rewrites).
@@ -105,8 +116,27 @@ type serviceMetrics struct {
 	latency  map[string]*obs.Histogram // per route
 }
 
-// routes lists the instrumented endpoint names.
-var routes = []string{"measure", "sweep", "frontier", "jobs", "results", "metrics", "healthz"}
+// newServiceMetrics resolves the HTTP-level handles for the given routes.
+func newServiceMetrics(reg *obs.Registry, routes []string) serviceMetrics {
+	m := serviceMetrics{
+		inflight:      reg.Gauge("http_inflight_requests"),
+		responses2xx:  reg.Counter("http_responses_2xx_total"),
+		responses4xx:  reg.Counter("http_responses_4xx_total"),
+		responses5xx:  reg.Counter("http_responses_5xx_total"),
+		snapshots:     reg.Counter("store_snapshots_total"),
+		snapshotFails: reg.Counter("store_snapshot_errors_total"),
+		requests:      make(map[string]*obs.Counter, len(routes)),
+		latency:       make(map[string]*obs.Histogram, len(routes)),
+	}
+	for _, rt := range routes {
+		m.requests[rt] = reg.Counter("http_" + rt + "_requests_total")
+		m.latency[rt] = reg.Histogram("http_" + rt + "_seconds")
+	}
+	return m
+}
+
+// routes lists the worker's instrumented endpoint names.
+var routes = []string{"measure", "sweep", "frontier", "shard", "jobs", "results", "metrics", "healthz", "readyz"}
 
 // New builds the service and, when cfg.StorePath names an existing store,
 // warm-starts the runner cache from it. A missing store file is a cold
@@ -122,51 +152,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
-	if len(cfg.Configs) == 0 {
-		cfg.Configs = kepler.Configs
+	res, err := newResolver(cfg.Programs, cfg.Configs)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		runner:   cfg.Runner,
-		programs: make(map[string]core.Program, len(cfg.Programs)),
-		configs:  make(map[string]kepler.Clocks, len(cfg.Configs)),
-	}
-	for _, p := range cfg.Programs {
-		if _, dup := s.programs[p.Name()]; dup {
-			return nil, fmt.Errorf("serve: duplicate program name %q", p.Name())
-		}
-		s.programs[p.Name()] = p
-	}
-	for _, c := range cfg.Configs {
-		s.configs[c.Name] = c
+		cfg:    cfg,
+		runner: cfg.Runner,
+		res:    res,
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 
 	reg := s.runner.Metrics()
-	s.m = serviceMetrics{
-		inflight:      reg.Gauge("http_inflight_requests"),
-		responses2xx:  reg.Counter("http_responses_2xx_total"),
-		responses4xx:  reg.Counter("http_responses_4xx_total"),
-		responses5xx:  reg.Counter("http_responses_5xx_total"),
-		snapshots:     reg.Counter("store_snapshots_total"),
-		snapshotFails: reg.Counter("store_snapshot_errors_total"),
-		requests:      make(map[string]*obs.Counter, len(routes)),
-		latency:       make(map[string]*obs.Histogram, len(routes)),
-	}
-	for _, rt := range routes {
-		s.m.requests[rt] = reg.Counter("http_" + rt + "_requests_total")
-		s.m.latency[rt] = reg.Histogram("http_" + rt + "_seconds")
-	}
+	s.m = newServiceMetrics(reg, routes)
 	s.jobs = newJobRegistry(reg)
 
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/measure", s.instrument("measure", s.handleMeasure))
-	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
-	mux.Handle("POST /v1/frontier", s.instrument("frontier", s.handleFrontier))
-	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
-	mux.Handle("GET /v1/results", s.instrument("results", s.handleResults))
-	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("POST /v1/measure", s.m.instrument("measure", s.handleMeasure))
+	mux.Handle("POST /v1/sweep", s.m.instrument("sweep", s.handleSweep))
+	mux.Handle("POST /v1/frontier", s.m.instrument("frontier", s.handleFrontier))
+	mux.Handle("POST /v1/shard", s.m.instrument("shard", s.handleShard))
+	mux.Handle("GET /v1/jobs/{id...}", s.m.instrument("jobs", s.handleJob))
+	mux.Handle("DELETE /v1/jobs/{id...}", s.m.instrument("jobs", s.handleJobCancel))
+	mux.Handle("GET /v1/results", s.m.instrument("results", s.handleResults))
+	mux.Handle("GET /metrics", s.m.instrument("metrics", s.handleMetrics))
+	mux.Handle("GET /metrics.json", s.m.instrument("metrics", s.handleMetricsJSON))
+	mux.Handle("GET /healthz", s.m.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.m.instrument("readyz", s.handleReadyz))
 	s.handler = mux
 
 	if cfg.StorePath != "" {
@@ -180,6 +192,10 @@ func New(cfg Config) (*Server, error) {
 			cfg.Log.Printf("serve: ignoring store %s: %v", cfg.StorePath, err)
 		}
 	}
+	// Size the worker pool up front so readiness means "can simulate now",
+	// not "will size a pool on the first request".
+	s.runner.WorkerPool()
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -188,23 +204,23 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // instrument wraps a handler with the per-route request counter, latency
 // histogram, in-flight gauge and response-class counters.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
-	reqs, lat := s.m.requests[route], s.m.latency[route]
+func (m *serviceMetrics) instrument(route string, h http.HandlerFunc) http.Handler {
+	reqs, lat := m.requests[route], m.latency[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		reqs.Inc()
-		s.m.inflight.Add(1)
-		defer s.m.inflight.Add(-1)
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
 		defer lat.Since(t0)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		switch {
 		case sw.status >= 500:
-			s.m.responses5xx.Inc()
+			m.responses5xx.Inc()
 		case sw.status >= 400:
-			s.m.responses4xx.Inc()
+			m.responses4xx.Inc()
 		default:
-			s.m.responses2xx.Inc()
+			m.responses2xx.Inc()
 		}
 	})
 }
@@ -220,56 +236,35 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// Serve runs the service on ln until ctx is canceled, then drains: the
+// Serve runs the service on ln until ctx is canceled, then drains: /readyz
+// flips to 503 (a coordinator probing membership drops the worker and
+// starts re-dispatching its shards before the listener even closes), the
 // listener closes, in-flight requests get DrainTimeout to finish, remaining
-// simulations are aborted via the base context, and the store is snapshotted
-// one final time. It returns nil after a clean drain.
+// simulations are aborted via the base context, and the store is
+// snapshotted one final time. It returns nil after a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	httpSrv := &http.Server{
-		Handler:     s.Handler(),
-		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
-		ErrorLog:    s.cfg.Log,
-	}
-
 	stopSnapshots := make(chan struct{})
 	var snapWG sync.WaitGroup
 	if s.cfg.StorePath != "" && s.cfg.SnapshotEvery > 0 {
 		snapWG.Add(1)
 		go func() {
 			defer snapWG.Done()
-			s.snapshotLoop(stopSnapshots)
+			snapshotLoop(s.cfg.SnapshotEvery, stopSnapshots, s.saveStore, s.cfg.Log)
 		}()
 	}
 
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
-
-	var err error
-	select {
-	case err = <-serveErr:
-		// Listener failure: not a drain, but still snapshot below.
-	case <-ctx.Done():
-		drainCtx := context.Background()
-		if s.cfg.DrainTimeout > 0 {
-			var cancel context.CancelFunc
-			drainCtx, cancel = context.WithTimeout(drainCtx, s.cfg.DrainTimeout)
-			defer cancel()
-		}
-		// When the drain deadline passes, cancel the base context so
-		// in-flight simulations abort at the next thread-block boundary
-		// and their handlers return promptly with the context error.
-		stopAbort := context.AfterFunc(drainCtx, s.cancelBase)
-		err = httpSrv.Shutdown(drainCtx)
-		stopAbort()
-		if errors.Is(err, context.DeadlineExceeded) {
-			err = nil // a forced drain is still an orderly shutdown
-		}
-	}
+	err := serveHTTP(ctx, ln, serveHTTPConfig{
+		handler:      s.Handler(),
+		baseCtx:      s.baseCtx,
+		cancelBase:   s.cancelBase,
+		drainTimeout: s.cfg.DrainTimeout,
+		log:          s.cfg.Log,
+		onDrain:      func() { s.ready.Store(false) },
+	})
 
 	// Hard-stop anything still running, stop the snapshot timer, and take
 	// the final snapshot. Store writes are atomic (tmp + rename), so even a
 	// snapshot racing a late handler can only publish a consistent store.
-	s.cancelBase()
 	close(stopSnapshots)
 	snapWG.Wait()
 	if s.cfg.StorePath != "" {
@@ -283,15 +278,68 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
-// snapshotLoop persists the store every SnapshotEvery until stop closes.
-func (s *Server) snapshotLoop(stop <-chan struct{}) {
-	t := time.NewTicker(s.cfg.SnapshotEvery)
+// serveHTTPConfig parameterizes the shared serve/drain loop of the worker
+// and coordinator roles.
+type serveHTTPConfig struct {
+	handler      http.Handler
+	baseCtx      context.Context
+	cancelBase   context.CancelFunc
+	drainTimeout time.Duration
+	log          *log.Logger
+	// onDrain runs the moment the drain starts, before the HTTP shutdown —
+	// both roles flip their readiness probe here.
+	onDrain func()
+}
+
+// serveHTTP drives an http.Server over ln until ctx cancels, then drains
+// with the configured timeout, hard-stopping leftover work via cancelBase.
+func serveHTTP(ctx context.Context, ln net.Listener, cfg serveHTTPConfig) error {
+	httpSrv := &http.Server{
+		Handler:     cfg.handler,
+		BaseContext: func(net.Listener) context.Context { return cfg.baseCtx },
+		ErrorLog:    cfg.log,
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	var err error
+	select {
+	case err = <-serveErr:
+		// Listener failure: not a drain, but the caller still snapshots.
+	case <-ctx.Done():
+		if cfg.onDrain != nil {
+			cfg.onDrain()
+		}
+		drainCtx := context.Background()
+		if cfg.drainTimeout > 0 {
+			var cancel context.CancelFunc
+			drainCtx, cancel = context.WithTimeout(drainCtx, cfg.drainTimeout)
+			defer cancel()
+		}
+		// When the drain deadline passes, cancel the base context so
+		// in-flight simulations abort at the next thread-block boundary
+		// and their handlers return promptly with the context error.
+		stopAbort := context.AfterFunc(drainCtx, cfg.cancelBase)
+		err = httpSrv.Shutdown(drainCtx)
+		stopAbort()
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = nil // a forced drain is still an orderly shutdown
+		}
+	}
+	cfg.cancelBase()
+	return err
+}
+
+// snapshotLoop persists the store every interval until stop closes.
+func snapshotLoop(interval time.Duration, stop <-chan struct{}, save func() error, logger *log.Logger) {
+	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			if err := s.saveStore(); err != nil {
-				s.cfg.Log.Printf("serve: store snapshot: %v", err)
+			if err := save(); err != nil {
+				logger.Printf("serve: store snapshot: %v", err)
 			}
 		case <-stop:
 			return
@@ -358,7 +406,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	p, clk, input, err := s.resolve(req.Program, req.Input, req.Config, req.Device)
+	p, clk, input, err := s.res.resolve(req.Program, req.Input, req.Config, req.Device)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -442,59 +490,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	programs := make([]core.Program, 0, len(req.Programs))
-	if len(req.Programs) == 0 {
-		programs = append(programs, s.cfg.Programs...)
-	} else {
-		for _, name := range req.Programs {
-			p, ok := s.programs[name]
-			if !ok {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown program %q", name))
-				return
-			}
-			programs = append(programs, p)
-		}
-	}
-	dev, err := s.resolveDevice(req.Device)
+	programs, _, configs, err := s.res.sweepSet(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	configs := make([]kepler.Clocks, 0, len(req.Configs))
-	switch {
-	case len(req.Configs) == 0 && dev == kepler.K20cDevice():
-		configs = append(configs, s.cfg.Configs...)
-	case len(req.Configs) == 0:
-		configs = append(configs, dev.Configurations()...)
-	case dev == kepler.K20cDevice():
-		for _, name := range req.Configs {
-			c, ok := s.configs[name]
-			if !ok {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown config %q", name))
-				return
-			}
-			configs = append(configs, c)
-		}
-	default:
-		for _, name := range req.Configs {
-			c, err := dev.ConfigByName(name)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown config %q on device %s", name, dev.Name))
-				return
-			}
-			configs = append(configs, c)
-		}
-	}
-	combos := 0
-	for _, p := range programs {
-		inputs := 1
-		if req.AllInputs {
-			inputs = len(p.Inputs())
-		}
-		combos += inputs * len(configs)
-	}
-	j := s.jobs.start(s.baseCtx, combos, s.jobs.sweepProgress, func(ctx context.Context) (any, error) {
-		return nil, s.runner.MeasureAll(ctx, programs, configs, req.AllInputs)
+	combos := core.EnumerateCombos(programs, configs, req.AllInputs)
+	j := s.jobs.start(s.baseCtx, jobSpec{
+		combos:   len(combos),
+		progress: s.jobs.sweepProgress,
+		run: func(ctx context.Context, _ string) (any, error) {
+			return nil, s.runner.MeasureList(ctx, combos)
+		},
 	})
 	writeJSON(w, http.StatusAccepted, j.view())
 }
@@ -601,7 +608,7 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	p, ok := s.programs[req.Program]
+	p, ok := s.res.programs[req.Program]
 	if !ok {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown program %q", req.Program))
 		return
@@ -609,11 +616,11 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	input := req.Input
 	if input == "" {
 		input = p.DefaultInput()
-	} else if _, _, _, err := s.resolve(req.Program, input, "", req.Device); err != nil {
+	} else if _, _, _, err := s.res.resolve(req.Program, input, "", req.Device); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	dev, err := s.resolveDevice(req.Device)
+	dev, err := s.res.resolveDevice(req.Device)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -632,12 +639,16 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	replays := reg.Counter("frontier_replays")
 	interp := reg.Counter("frontier_interpolated")
 	progress := func() (int64, int64) { return replays.Value() + interp.Value(), 0 }
-	j := s.jobs.start(s.baseCtx, len(grid), progress, func(ctx context.Context) (any, error) {
-		res, err := frontier.Sweep(ctx, s.runner, p, frontier.Options{Device: dev, Spec: spec, Input: input})
-		if err != nil {
-			return nil, err
-		}
-		return summarizeFrontier(res), nil
+	j := s.jobs.start(s.baseCtx, jobSpec{
+		combos:   len(grid),
+		progress: progress,
+		run: func(ctx context.Context, _ string) (any, error) {
+			res, err := frontier.Sweep(ctx, s.runner, p, frontier.Options{Device: dev, Spec: spec, Input: input})
+			if err != nil {
+				return nil, err
+			}
+			return summarizeFrontier(res), nil
+		},
 	})
 	writeJSON(w, http.StatusAccepted, j.view())
 }
@@ -645,6 +656,18 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 // handleJob reports a sweep job's status and progress.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleJobCancel cancels a queued or running job: DELETE /v1/jobs/{id}.
+// The response is the job's view right after the cancel was requested; the
+// job reaches its terminal state asynchronously (poll GET to observe it).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.cancelJob(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
 		return
@@ -671,10 +694,33 @@ func (s *Server) handleResults(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleMetrics dumps the observability registry snapshot: pipeline stage
-// timings, cache and singleflight counters, pool utilization, sweep
-// progress and the HTTP metrics above.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// wantsJSON reports whether the request prefers the legacy JSON metrics
+// snapshot over the Prometheus text exposition. The JSON is also always
+// available at /metrics.json, so scripted consumers need no Accept header.
+func wantsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	json := strings.Index(accept, "application/json")
+	text := strings.Index(accept, "text/plain")
+	return json >= 0 && (text < 0 || json < text)
+}
+
+// handleMetrics serves the observability registry: Prometheus text
+// exposition format 0.0.4 by default (pipeline stage timings as cumulative
+// histograms, cache/trace/broker counters, pool gauges, HTTP metrics), or
+// the legacy JSON snapshot when the client asks for application/json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsJSON(r) {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", promtext.ContentType)
+	if err := s.runner.Metrics().WriteProm(w); err != nil {
+		s.cfg.Log.Printf("serve: writing metrics: %v", err)
+	}
+}
+
+// handleMetricsJSON dumps the registry snapshot in the legacy JSON shape.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.runner.Metrics().WriteJSON(w); err != nil {
 		s.cfg.Log.Printf("serve: writing metrics: %v", err)
@@ -694,59 +740,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Resolved: resolved, Pending: pending})
 }
 
-// resolve validates and resolves the request's names against the served
-// program, device and configuration sets. An empty device means the K20c
-// and resolves configs against the server's configured set; any other
-// device resolves configs against that device's own DVFS ladder.
-func (s *Server) resolve(program, input, config, device string) (core.Program, kepler.Clocks, string, error) {
-	p, ok := s.programs[program]
-	if !ok {
-		return nil, kepler.Clocks{}, "", fmt.Errorf("unknown program %q", program)
-	}
-	dev, err := s.resolveDevice(device)
-	if err != nil {
-		return nil, kepler.Clocks{}, "", err
-	}
-	if config == "" {
-		config = "default"
-	}
-	var clk kepler.Clocks
-	if dev == kepler.K20cDevice() {
-		clk, ok = s.configs[config]
-		if !ok {
-			return nil, kepler.Clocks{}, "", fmt.Errorf("unknown config %q", config)
-		}
-	} else {
-		clk, err = dev.ConfigByName(config)
-		if err != nil {
-			return nil, kepler.Clocks{}, "", fmt.Errorf("unknown config %q on device %s", config, dev.Name)
-		}
-	}
-	if input == "" {
-		input = p.DefaultInput()
-	} else {
-		found := false
-		for _, in := range p.Inputs() {
-			if in == input {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, kepler.Clocks{}, "", fmt.Errorf("%s: unknown input %q (have %v)", program, input, p.Inputs())
-		}
-	}
-	return p, clk, input, nil
+// readyzResponse is the GET /readyz body.
+type readyzResponse struct {
+	Status   string `json:"status"`
+	Resolved int    `json:"resolvedEntries"`
+	// Workers is the registered ready-worker count (coordinator role only).
+	Workers int `json:"workers,omitempty"`
 }
 
-// resolveDevice maps a request's device name to its profile; empty means
-// the K20c. Unknown names surface as a 400 through the callers.
-func (s *Server) resolveDevice(device string) (*kepler.Device, error) {
-	dev, err := kepler.DeviceByName(device)
-	if err != nil {
-		return nil, fmt.Errorf("unknown device %q", device)
+// handleReadyz reports readiness: the store is warmed and the worker pool
+// sized (both done by New), and no drain has started. Coordinators use it
+// for membership, so a draining worker disappears from the ring before its
+// listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resolved, _ := s.runner.CacheCounts()
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "draining", Resolved: resolved})
+		return
 	}
-	return dev, nil
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", Resolved: resolved})
 }
 
 // maxBodyBytes bounds request bodies; the API's requests are tiny.

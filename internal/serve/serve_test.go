@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/promtext"
 	"repro/internal/sim"
 )
 
@@ -303,7 +304,9 @@ func TestSweepJobLifecycle(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint checks the registry snapshot is served as JSON.
+// TestMetricsEndpoint checks both expositions: /metrics.json (and /metrics
+// with Accept: application/json) serve the legacy registry snapshot, while
+// bare /metrics serves lint-clean Prometheus text.
 func TestMetricsEndpoint(t *testing.T) {
 	s, _ := newTestServer(t, Config{}, newFakeProg("FAKE", 2e5))
 	ts := httptest.NewServer(s.Handler())
@@ -312,19 +315,53 @@ func TestMetricsEndpoint(t *testing.T) {
 	if code, _ := postJSON(t, ts.URL+"/v1/measure", `{"program":"FAKE"}`); code != http.StatusOK {
 		t.Fatalf("measure: status %d", code)
 	}
-	code, body := getJSON(t, ts.URL+"/metrics")
+	code, body := getJSON(t, ts.URL+"/metrics.json")
 	if code != http.StatusOK {
-		t.Fatalf("metrics: status %d", code)
+		t.Fatalf("metrics.json: status %d", code)
 	}
 	var snap obs.Snapshot
 	if err := json.Unmarshal(body, &snap); err != nil {
-		t.Fatalf("metrics not JSON: %v", err)
+		t.Fatalf("metrics.json not JSON: %v", err)
 	}
 	if snap.Histograms["stage_simulate_seconds"].Count != 1 {
 		t.Errorf("metrics snapshot missing pipeline data: %+v", snap.Histograms["stage_simulate_seconds"])
 	}
 	if snap.Counters["http_measure_requests_total"] != 1 {
 		t.Errorf("metrics snapshot missing http data: %v", snap.Counters)
+	}
+
+	// Accept-based negotiation serves the same JSON from /metrics.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negotiated, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap2 obs.Snapshot
+	if err := json.Unmarshal(negotiated, &snap2); err != nil {
+		t.Fatalf("Accept: application/json on /metrics not JSON: %v", err)
+	}
+
+	// The default /metrics is Prometheus text exposition 0.0.4, lint-clean.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promtext.ContentType {
+		t.Errorf("Content-Type %q, want %q", ct, promtext.ContentType)
+	}
+	if errs := promtext.LintText(prom); len(errs) > 0 {
+		t.Errorf("exposition not lint-clean: %v", errs)
+	}
+	if !bytes.Contains(prom, []byte("gpuchard_stage_simulate_seconds_bucket")) {
+		t.Errorf("exposition missing stage histogram:\n%s", prom)
+	}
+	if !bytes.Contains(prom, []byte(`gpuchard_simulate_runs_total{device="K20c"} 1`)) {
+		t.Errorf("exposition missing per-device simulate counter:\n%s", prom)
 	}
 }
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Sweep-fabric smoke test, through the real gpuchard binary:
+#
+#   1. A standalone server runs a sweep — the baseline /v1/results bytes.
+#   2. A 1-coordinator + 3-worker fabric runs the same sweep; its merged
+#      /v1/results must be byte-identical to the standalone baseline.
+#   3. The coordinator's federated /metrics must pass the promtool-style
+#      lint (cmd/promlint — pure Go, no network).
+#   4. One worker is killed; a fresh (cold-store) coordinator re-runs the
+#      sweep over the surviving pair and must still merge the exact
+#      baseline bytes.
+#
+# Shared by `make fabric-smoke` and the CI fabric-smoke job. Requires curl
+# and jq; PROMLINT must point at a built cmd/promlint binary (defaults to
+# `go run ./cmd/promlint`).
+set -euo pipefail
+
+BIN=${1:-/tmp/gpuchard-fabric}
+PROMLINT=${PROMLINT:-go run ./cmd/promlint}
+PORT_BASE=${GPUCHARD_FABRIC_PORT_BASE:-18450}
+SWEEP='{}'   # empty request = the full default sweep: every program, canonical configs
+OUT=$(mktemp -d)
+
+W1="127.0.0.1:$((PORT_BASE + 1))"
+W2="127.0.0.1:$((PORT_BASE + 2))"
+W3="127.0.0.1:$((PORT_BASE + 3))"
+CO="127.0.0.1:$((PORT_BASE + 4))"
+CO2="127.0.0.1:$((PORT_BASE + 5))"
+SA="127.0.0.1:$((PORT_BASE + 6))"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+wait_up() { # addr
+    for _ in $(seq 1 150); do
+        if curl -fsS "http://$1/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "fabric smoke: $1 never became ready" >&2
+    return 1
+}
+
+run_sweep() { # base outfile — POST the sweep, poll to done, dump /v1/results
+    local base=$1 outfile=$2 id
+    id=$(curl -fsS -X POST "http://$base/v1/sweep" \
+        -H 'Content-Type: application/json' -d "$SWEEP" | jq -r .id)
+    for _ in $(seq 1 3000); do
+        status=$(curl -fsS "http://$base/v1/jobs/$id" | jq -r .status)
+        case "$status" in
+            done) break ;;
+            failed|canceled)
+                echo "fabric smoke: sweep $id on $base: $status" >&2
+                return 1 ;;
+        esac
+        sleep 0.2
+    done
+    [ "$status" = done ] || { echo "fabric smoke: sweep $id stuck" >&2; return 1; }
+    curl -fsS "http://$base/v1/results" >"$outfile"
+}
+
+# 1. Standalone baseline.
+"$BIN" -addr "$SA" -snapshot 0 &
+PIDS+=($!)
+wait_up "$SA"
+run_sweep "$SA" "$OUT/baseline.json"
+
+# 2. The fabric: 3 workers + 1 coordinator, same sweep, identical bytes.
+"$BIN" -role worker -addr "$W1" -snapshot 0 & PIDS+=($!)
+"$BIN" -role worker -addr "$W2" -snapshot 0 & PIDS+=($!)
+W3_PID_INDEX=${#PIDS[@]}
+"$BIN" -role worker -addr "$W3" -snapshot 0 & PIDS+=($!)
+wait_up "$W1"; wait_up "$W2"; wait_up "$W3"
+"$BIN" -role coordinator -addr "$CO" -snapshot 0 -health 1s \
+    -peers "http://$W1,http://$W2,http://$W3" &
+PIDS+=($!)
+wait_up "$CO"
+curl -fsS "http://$CO/readyz" | jq -e '.workers == 3' >/dev/null
+run_sweep "$CO" "$OUT/fabric.json"
+cmp "$OUT/baseline.json" "$OUT/fabric.json"
+
+# 3. Federated metrics are valid Prometheus exposition text.
+curl -fsS "http://$CO/metrics" >"$OUT/metrics.prom"
+$PROMLINT <"$OUT/metrics.prom"
+grep -q 'gpuchard_fabric_workers_ready{worker="coordinator"} 3' "$OUT/metrics.prom"
+grep -q 'worker="http://' "$OUT/metrics.prom"
+
+# 4. Kill one worker; a cold coordinator over the survivors must still
+# merge the exact baseline bytes.
+kill -9 "${PIDS[$W3_PID_INDEX]}" 2>/dev/null || true
+"$BIN" -role coordinator -addr "$CO2" -snapshot 0 -health 1s \
+    -peers "http://$W1,http://$W2,http://$W3" &
+PIDS+=($!)
+wait_up "$CO2"
+run_sweep "$CO2" "$OUT/fabric2.json"
+cmp "$OUT/baseline.json" "$OUT/fabric2.json"
+
+echo "fabric smoke: OK"

@@ -44,7 +44,7 @@ done
 jq -e '.program == "NN" and .activeTime > 0 and .energy > 0' "$OUT/resp-1.json" >/dev/null
 
 # Exactly one simulation despite N requests: the rest coalesced.
-curl -fsS "$BASE/metrics" >"$OUT/metrics.json"
+curl -fsS "$BASE/metrics.json" >"$OUT/metrics.json"
 jq -e '.histograms.stage_simulate_seconds.count == 1' "$OUT/metrics.json"
 jq -e ".counters.http_measure_requests_total == $N" "$OUT/metrics.json"
 jq -e '.counters.measure_cache_misses == 1' "$OUT/metrics.json"
