@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke fabric-smoke device-smoke bench lint-launch lint-device ci
+.PHONY: all build vet test race fuzz check selfcheck golden smoke frontier-smoke serve-smoke fabric-smoke device-smoke attrib-smoke bench lint-launch lint-device ci
 
 all: ci
 
@@ -91,6 +91,21 @@ lint-launch:
 # a kepler selector outside the device package (see scripts/lint_device.sh).
 lint-device:
 	./scripts/lint_device.sh
+
+# Attribution smoke: two runs of `gpuchar -exp attrib` against one launch-
+# trace directory (cold capture, then warm replay from disk) must print
+# byte-identical breakdowns, and the warm process must not simulate at all —
+# attribution is a post-processing pass over replayed traces. Mirrors the
+# CI attrib-smoke job; needs jq.
+attrib-smoke:
+	$(GO) build -o /tmp/gpuchar-attrib ./cmd/gpuchar
+	rm -rf /tmp/gpuchar-attrib-traces
+	/tmp/gpuchar-attrib -exp attrib -programs NB -traces /tmp/gpuchar-attrib-traces -metrics >/tmp/gpuchar-attrib-1.txt 2>/tmp/gpuchar-attrib-1.json
+	/tmp/gpuchar-attrib -exp attrib -programs NB -traces /tmp/gpuchar-attrib-traces -metrics >/tmp/gpuchar-attrib-2.txt 2>/tmp/gpuchar-attrib-2.json
+	cmp /tmp/gpuchar-attrib-1.txt /tmp/gpuchar-attrib-2.txt
+	jq -e '(.counters.simulate_runs_device_K20c // 0) == 0' /tmp/gpuchar-attrib-2.json
+	jq -e '.counters.trace_broker_fetch_hits > 0' /tmp/gpuchar-attrib-2.json
+	/tmp/gpuchar-attrib -exp attrib -programs NB -traces /tmp/gpuchar-attrib-traces -json | jq -e '.[0].program == "NB" and (.[0].attribution.classes | length) == 9' >/dev/null
 
 # Cross-device smoke: the three shipped profiles (K20c, GTX1080, JetsonTX2)
 # measure one n-body program and the comparison table must match the

@@ -10,6 +10,8 @@
 //	gpuchar -exp all -store sweep.json -timeout 10m -metrics
 //	gpuchar -exp frontier -reps 1    # dense DVFS grid: EDP/ED²P sweet spots, Pareto fronts
 //	gpuchar -exp devices  # same programs on every GPU profile, side by side
+//	gpuchar -exp attrib   # instruction-level energy attribution by op class x kernel
+//	gpuchar -exp attrib -traces traces/ -json    # replay-backed, machine-readable
 //	gpuchar -device GTX1080 -exp table2,fig2    # the battery on another profile
 //	gpuchar -selfcheck    # physics-invariant verification sweep (internal/check)
 //	gpuchar -selfcheck -device JetsonTX2    # invariants on another profile
@@ -48,7 +50,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'; 'frontier' (dense DVFS grid) and 'devices' (cross-profile comparison) run only when requested explicitly")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,fig1,fig2,fig3,fig4,fig5,fig6,crossgpu,classify,freqsweep,findings or 'all'; 'frontier' (dense DVFS grid), 'devices' (cross-profile comparison) and 'attrib' (instruction-level energy attribution) run only when requested explicitly")
 		device    = flag.String("device", "", "GPU profile the experiments run on (empty = the paper's K20c); see internal/kepler/devices for the known profiles")
 		progFlag  = flag.String("programs", "", "comma-separated program names to restrict the sweep to (empty = all 34)")
 		reps      = flag.Int("reps", 3, "measurement repetitions per configuration (the paper uses 3)")
@@ -58,6 +60,8 @@ func main() {
 		noreplay  = flag.Bool("noreplay", false, "disable the cross-config launch-trace replay cache: simulate every configuration from scratch (never affects measured values; debugging/benchmarking escape hatch)")
 		timeout   = flag.Duration("timeout", 0, "overall deadline for the run (e.g. 10m); 0 disables")
 		metrics   = flag.Bool("metrics", false, "dump pipeline metrics (stage timings, cache counters, pool utilization) as JSON to stderr at exit")
+		traces    = flag.String("traces", "", "launch-trace directory: captured traces are stored here and replayed on later runs, so a warm directory costs zero simulations for clock-insensitive programs (never affects measured values)")
+		jsonOut   = flag.Bool("json", false, "emit the attrib experiment as JSON instead of text (other experiments are unaffected)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,9 @@ func main() {
 	runner.Repetitions = *reps
 	runner.Workers = *workers
 	runner.NoReplay = *noreplay
+	if *traces != "" {
+		runner.Broker = core.NewDirBroker(*traces)
+	}
 
 	if *store != "" {
 		if err := runner.LoadStore(*store); err != nil && !os.IsNotExist(err) {
@@ -89,7 +96,7 @@ func main() {
 		}
 	}
 
-	err = run(ctx, runner, os.Stdout, *expFlag, *progFlag, *selfcheck, dev)
+	err = run(ctx, runner, os.Stdout, *expFlag, *progFlag, *selfcheck, *jsonOut, dev)
 
 	// Save on every path — success, failure, timeout, interrupt — so no
 	// already-computed measurement is ever lost to an aborted sweep.
@@ -128,7 +135,7 @@ var errViolations = errors.New("selfcheck found invariant violations")
 // run executes the requested experiments (or the selfcheck sweep) on the
 // given device profile and returns instead of exiting, so main can always
 // save the store and dump metrics afterwards.
-func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag, progFlag string, selfcheck bool, dev *kepler.Device) error {
+func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag, progFlag string, selfcheck, jsonOut bool, dev *kepler.Device) error {
 	programs := suites.All()
 	if progFlag != "" {
 		programs = programs[:0]
@@ -350,6 +357,22 @@ func run(ctx context.Context, runner *core.Runner, out io.Writer, expFlag, progF
 		}
 		report.DeviceCompare(out, rows)
 		fmt.Fprintln(out)
+	}
+	// Attribution is likewise NOT part of 'all': it is a replay-backed
+	// post-processing pass over the launch traces, additive to the pinned
+	// experiment battery.
+	if want["attrib"] {
+		rows, err := core.AttributionSweep(ctx, runner, programs, cfgs)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			if err := report.AttributionJSON(out, rows); err != nil {
+				return err
+			}
+		} else {
+			report.Attribution(out, rows)
+		}
 	}
 	if want["crossgpu"] {
 		var picks []core.Program

@@ -45,6 +45,7 @@ import (
 	"repro/internal/k20power"
 	"repro/internal/kepler"
 	"repro/internal/sensor"
+	"repro/internal/trace"
 )
 
 // Options are the engine's invariant tolerances. The defaults are
@@ -100,6 +101,17 @@ type Options struct {
 	// FrontierValleyTol is the slack on the dense-grid energy valley shape
 	// within a grid row.
 	FrontierValleyTol float64
+
+	// Attribution enables the bit-exact energy-attribution tie-out: for
+	// every program x configuration, the per-class energies of every launch
+	// must sum to that launch's dynamic energy, and the run totals must
+	// reproduce power.DynamicEnergy, power.ActiveEnergy and the stored
+	// Result.TrueEnergy exactly (see attrib.go).
+	Attribution bool
+	// Calibration enables the microbenchmark calibration invariants: each
+	// program in internal/microbench pins one EnergyTable entry of the
+	// swept device to an observable invariant (see attrib.go).
+	Calibration bool
 }
 
 // DefaultOptions returns the calibrated engine tolerances. Worst margins
@@ -125,6 +137,8 @@ func DefaultOptions() Options {
 		FrontierPrograms:   6,
 		FrontierTimeTol:    0.02,
 		FrontierValleyTol:  0.02,
+		Attribution:        true,
+		Calibration:        true,
 	}
 }
 
@@ -148,7 +162,8 @@ func DeviceOptions(dev *kepler.Device) Options {
 type Violation struct {
 	// Invariant is the invariant class: "energy-conservation",
 	// "dvfs-monotonicity", "ecc-directionality", "determinism",
-	// "replay-identity", "dvfs-grid" or "frontier-consistency".
+	// "replay-identity", "dvfs-grid", "frontier-consistency",
+	// "energy-attribution" or "calibration".
 	Invariant string
 	Program   string
 	Input     string
@@ -175,6 +190,7 @@ type Stats struct {
 	MaxECCComputePenalty float64 // worst ECC slowdown on a compute-bound code
 	MaxFrontierTimeRise  float64 // worst in-row runtime rise on the dense grid
 	MaxFrontierValleyErr float64 // worst in-row energy-valley wiggle
+	MaxCalibErr          float64 // worst recovered-EnergyTable-entry rel error
 }
 
 // Report is the outcome of one verification sweep.
@@ -202,6 +218,8 @@ func (r *Report) Format(w io.Writer) {
 		r.Stats.MinPowerDrop324, r.Stats.MinPowerDrop614, r.Stats.MaxECCSpeedup, r.Stats.MaxECCComputePenalty)
 	fmt.Fprintf(w, "  dense grid: worst in-row runtime rise %.4f, worst energy-valley wiggle %.4f\n",
 		r.Stats.MaxFrontierTimeRise, r.Stats.MaxFrontierValleyErr)
+	fmt.Fprintf(w, "  attribution: per-class energies sum bit-exactly; worst calibration-entry error %.2e\n",
+		r.Stats.MaxCalibErr)
 	if r.Ok() {
 		fmt.Fprintln(w, "  all invariants hold")
 		return
@@ -227,6 +245,11 @@ func Run(ctx context.Context, r *core.Runner, programs []core.Program, opt Optio
 	if len(opt.Configs) == 0 {
 		opt.Configs = opt.Device.Configurations()
 	}
+	// A verification sweep runs with the trace-accounting assertions armed:
+	// an impossible counter combination (e.g. useful bytes exceeding fetched
+	// bytes) panics at the point of use instead of being silently clamped.
+	trace.AccountingChecks = true
+
 	r.KeepTraces = true
 	if err := r.MeasureAll(ctx, programs, opt.Configs, false); err != nil {
 		return nil, fmt.Errorf("check: sweep failed: %w", err)
@@ -257,6 +280,21 @@ func Run(ctx context.Context, r *core.Runner, programs []core.Program, opt Optio
 		vs, n := checkDVFSMonotonicity(p.Irregular(), byConfig, opt, &rep.Stats)
 		rep.add(vs, n)
 		vs, n = checkECCDirectionality(p.Irregular(), byConfig, opt, &rep.Stats)
+		rep.add(vs, n)
+		if opt.Attribution {
+			vs, n, err := checkAttribution(ctx, r, p, opt.Configs, byConfig)
+			if err != nil {
+				return nil, err
+			}
+			rep.add(vs, n)
+		}
+	}
+
+	if opt.Calibration {
+		vs, n, err := checkCalibration(ctx, r, opt, &rep.Stats)
+		if err != nil {
+			return nil, err
+		}
 		rep.add(vs, n)
 	}
 

@@ -25,7 +25,13 @@ const (
 	SuiteSHOC     Suite = "SHOC"
 )
 
-// Suites lists the suites in presentation order.
+// SuiteMicro is the energy-calibration microbenchmark suite (not one of
+// the paper's five; its programs are additive and never join the 34-program
+// battery or its golden corpus).
+const SuiteMicro Suite = "Microbench"
+
+// Suites lists the paper's suites in presentation order (the calibration
+// microbenchmarks are deliberately excluded).
 var Suites = []Suite{SuiteSDK, SuiteLonestar, SuiteParboil, SuiteRodinia, SuiteSHOC}
 
 // Program is one benchmark application. Implementations perform the real

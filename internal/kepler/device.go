@@ -33,6 +33,30 @@ type RateTable struct {
 	LDST float64 `json:"ldst"`
 }
 
+// EnergyTable holds the per-event energies the power model prices a
+// kernel's warp-instruction counts with: joules per warp instruction (or
+// per DRAM transaction / shared-memory cycle) at the reference voltage,
+// before the device's EnergyScale and the configuration's V² scaling. One
+// entry per attribution class; the calibration microbenchmark suite pins
+// each entry to an observable invariant (see internal/check).
+type EnergyTable struct {
+	// Per-warp-instruction energies of the core-side classes.
+	IntJ    float64 `json:"intJ"`
+	FP32J   float64 `json:"fp32J"`
+	FP64J   float64 `json:"fp64J"`
+	SFUJ    float64 `json:"sfuJ"`
+	SharedJ float64 `json:"sharedJ"` // per shared-memory cycle
+	LDSTJ   float64 `json:"ldstJ"`   // per load/store issue slot
+	SyncJ   float64 `json:"syncJ"`   // per __syncthreads
+	// Memory-side energies: per 128-byte DRAM transaction and per atomic.
+	TxnJ    float64 `json:"txnJ"`
+	AtomicJ float64 `json:"atomicJ"`
+	// DivergenceFactor is the fractional core-energy overhead per unit of
+	// divergence ratio above 1 (replayed instruction slots burn front-end
+	// energy without retiring useful lanes).
+	DivergenceFactor float64 `json:"divergenceFactor"`
+}
+
 // ECCModel describes how enabling ECC perturbs the memory system.
 type ECCModel struct {
 	// CapacityLoss is the fraction of DRAM set aside for ECC information
@@ -119,6 +143,7 @@ type Device struct {
 
 	Rates  RateTable
 	ECC    ECCModel
+	Energy EnergyTable
 	Power  PowerModel
 	Sensor SensorModel
 
@@ -169,6 +194,7 @@ type deviceFile struct {
 	DefaultMemMHz         int         `json:"defaultMemMHz"`
 	Rates                 RateTable   `json:"rates"`
 	ECC                   ECCModel    `json:"ecc"`
+	Energy                EnergyTable `json:"energy"`
 	Power                 PowerModel  `json:"power"`
 	Sensor                SensorModel `json:"sensor"`
 	Settings              []clockFile `json:"settings"`
@@ -228,6 +254,7 @@ func ParseDevice(data []byte) (*Device, error) {
 		DefaultMemMHz:         f.DefaultMemMHz,
 		Rates:                 f.Rates,
 		ECC:                   f.ECC,
+		Energy:                f.Energy,
 		Power:                 f.Power,
 		Sensor:                f.Sensor,
 		GridSpec:              f.Grid,
@@ -334,6 +361,22 @@ func (d *Device) validate() error {
 	}
 	if !(d.ECC.CheckEnergyJ >= 0) {
 		return fail("ecc checkEnergyJ %g negative", d.ECC.CheckEnergyJ)
+	}
+	energies := []struct {
+		name string
+		v    float64
+	}{
+		{"intJ", d.Energy.IntJ}, {"fp32J", d.Energy.FP32J}, {"fp64J", d.Energy.FP64J},
+		{"sfuJ", d.Energy.SFUJ}, {"sharedJ", d.Energy.SharedJ}, {"ldstJ", d.Energy.LDSTJ},
+		{"syncJ", d.Energy.SyncJ}, {"txnJ", d.Energy.TxnJ}, {"atomicJ", d.Energy.AtomicJ},
+	}
+	for _, e := range energies {
+		if !(e.v > 0) {
+			return fail("energy %s must be positive (got %g)", e.name, e.v)
+		}
+	}
+	if !(d.Energy.DivergenceFactor >= 0) {
+		return fail("energy divergenceFactor %g negative", d.Energy.DivergenceFactor)
 	}
 	if d.Power.RefVoltageV < 0.5 || d.Power.RefVoltageV > 1.5 {
 		return fail("power refVoltageV %g implausible", d.Power.RefVoltageV)

@@ -307,3 +307,79 @@ func FuzzDeviceLoader(f *testing.F) {
 		}
 	})
 }
+
+// TestParseDeviceEnergyValidation corrupts the EnergyTable one entry at a
+// time (mirroring TestParseDeviceValidation): every per-event energy must be
+// strictly positive, the divergence factor non-negative, and unknown table
+// fields rejected.
+func TestParseDeviceEnergyValidation(t *testing.T) {
+	entries := []string{"intJ", "fp32J", "fp64J", "sfuJ", "sharedJ", "ldstJ", "syncJ", "txnJ", "atomicJ"}
+	setEnergy := func(m map[string]any, key string, v any) {
+		m["energy"].(map[string]any)[key] = v
+	}
+	for _, key := range entries {
+		for _, bad := range []any{0, -1e-9} {
+			m := k20cJSON(t)
+			setEnergy(m, key, bad)
+			_, err := ParseDevice(encode(t, m))
+			if err == nil || !strings.Contains(err.Error(), "energy "+key+" must be positive") {
+				t.Errorf("energy %s = %v: err = %v, want positivity rejection", key, bad, err)
+			}
+		}
+		// A missing entry decodes as zero and is equally rejected: a device
+		// file cannot silently opt out of pricing an event class.
+		m := k20cJSON(t)
+		delete(m["energy"].(map[string]any), key)
+		if _, err := ParseDevice(encode(t, m)); err == nil ||
+			!strings.Contains(err.Error(), "energy "+key+" must be positive") {
+			t.Errorf("missing energy %s: err = %v, want positivity rejection", key, err)
+		}
+	}
+
+	m := k20cJSON(t)
+	setEnergy(m, "divergenceFactor", -0.1)
+	if _, err := ParseDevice(encode(t, m)); err == nil ||
+		!strings.Contains(err.Error(), "divergenceFactor") {
+		t.Errorf("negative divergenceFactor: err = %v", err)
+	}
+	// Zero divergence factor is legal (a device may price divergence as free).
+	m = k20cJSON(t)
+	setEnergy(m, "divergenceFactor", 0)
+	if _, err := ParseDevice(encode(t, m)); err != nil {
+		t.Errorf("zero divergenceFactor rejected: %v", err)
+	}
+
+	// Unknown table fields are typos, not extensions.
+	m = k20cJSON(t)
+	setEnergy(m, "fp16J", 1e-9)
+	if _, err := ParseDevice(encode(t, m)); err == nil {
+		t.Error("unknown energy field accepted")
+	}
+
+	// A device file with no energy table at all is rejected too.
+	m = k20cJSON(t)
+	delete(m, "energy")
+	if _, err := ParseDevice(encode(t, m)); err == nil {
+		t.Error("device without an energy table accepted")
+	}
+}
+
+// TestEnergyTablesShipped: every embedded profile carries a complete,
+// positive energy table, and (for now) the tables are identical across
+// profiles — per-device calibration is a data change away, which is the
+// point of the table.
+func TestEnergyTablesShipped(t *testing.T) {
+	devs := Devices()
+	if len(devs) < 6 {
+		t.Fatalf("only %d devices", len(devs))
+	}
+	ref := K20cDevice().Energy
+	for _, d := range devs {
+		if d.Energy != ref {
+			t.Logf("%s ships its own energy table (fine, just noting)", d.Name)
+		}
+		if !(d.Energy.TxnJ > d.Energy.FP64J) {
+			t.Errorf("%s: txnJ %g not above fp64J %g — a DRAM transaction must dominate any ALU op", d.Name, d.Energy.TxnJ, d.Energy.FP64J)
+		}
+	}
+}

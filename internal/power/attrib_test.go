@@ -1,0 +1,158 @@
+package power
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kepler"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// mixedLaunch builds a launch exercising every attribution class at once.
+func mixedLaunch(clk kepler.Clocks) (*sim.Device, *sim.Launch) {
+	d := sim.NewDevice(clk)
+	a := d.NewArray(1<<20, 4)
+	l := d.Launch("mixed", 512, 256, func(c *sim.Ctx) {
+		c.IntOps(40)
+		c.FP32Ops(120)
+		c.FP64Ops(8)
+		c.SFUOps(4)
+		c.Load(a.At(c.TID()), 4)
+		c.SharedAccess(uint64(c.Lane()))
+		c.Store(a.At(c.TID()*7), 4)
+		c.AtomicOp(0)
+		c.SyncThreads()
+	})
+	d.Repeat(l, 500)
+	return d, l
+}
+
+// TestAttributeLaunchTieOut: the per-class energies of any launch must sum —
+// bit-exactly, not approximately — to DynamicLaunchEnergy, at every K20c
+// configuration and for both compute- and memory-dominated kernels.
+func TestAttributeLaunchTieOut(t *testing.T) {
+	builders := map[string]func(kepler.Clocks) (*sim.Device, *sim.Launch){
+		"compute": computeLaunch,
+		"memory":  memoryLaunch,
+		"mixed":   mixedLaunch,
+	}
+	for name, build := range builders {
+		for _, clk := range kepler.Configs {
+			_, l := build(clk)
+			vec := AttributeLaunch(clk, l)
+			want := DynamicLaunchEnergy(clk, l)
+			if got := vec.Total(); got != want {
+				t.Errorf("%s@%s: class sum %v != dynamic energy %v (diff %g)",
+					name, clk.Name, got, want, got-want)
+			}
+			for c, e := range vec {
+				if e < 0 || math.IsNaN(e) {
+					t.Errorf("%s@%s: class %s energy %g", name, clk.Name, Class(c), e)
+				}
+			}
+		}
+	}
+}
+
+// TestAttributeMixedCoversAllClasses: the mixed kernel must charge every
+// class a strictly positive energy — otherwise the tie-out proves nothing
+// about the classes it missed.
+func TestAttributeMixedCoversAllClasses(t *testing.T) {
+	_, l := mixedLaunch(kepler.Default)
+	vec := AttributeLaunch(kepler.Default, l)
+	for c, e := range vec {
+		if !(e > 0) {
+			t.Errorf("class %s charged %g, want > 0 from the mixed kernel", Class(c), e)
+		}
+	}
+}
+
+// TestAttributeRunTotals: Attribute's run-level totals must reproduce
+// DynamicEnergy and ActiveEnergy bit-exactly, and the kernel rollup must
+// account for every launch.
+func TestAttributeRunTotals(t *testing.T) {
+	for _, clk := range kepler.Configs {
+		d, _ := mixedLaunch(clk)
+		d.Launch("second", 64, 128, func(c *sim.Ctx) { c.FP32Ops(64) })
+		a := Attribute(d)
+		if want := DynamicEnergy(d); a.DynamicJ != want {
+			t.Errorf("%s: DynamicJ %v != DynamicEnergy %v", clk.Name, a.DynamicJ, want)
+		}
+		if want := ActiveEnergy(d); a.TotalJ != want {
+			t.Errorf("%s: TotalJ %v != ActiveEnergy %v", clk.Name, a.TotalJ, want)
+		}
+		if len(a.Launches) != len(d.Launches) {
+			t.Errorf("%s: %d launch attributions for %d launches", clk.Name, len(a.Launches), len(d.Launches))
+		}
+		if len(a.Kernels) != 2 {
+			t.Errorf("%s: %d kernels, want 2", clk.Name, len(a.Kernels))
+		}
+		var kd float64
+		for _, k := range a.Kernels {
+			kd += k.DynamicJ
+		}
+		if rel := math.Abs(kd/a.DynamicJ - 1); rel > 1e-12 {
+			t.Errorf("%s: kernel rollup dynamic %v vs run %v", clk.Name, kd, a.DynamicJ)
+		}
+		if a.StaticJ != a.TotalJ-a.DynamicJ {
+			t.Errorf("%s: StaticJ %v != TotalJ-DynamicJ %v", clk.Name, a.StaticJ, a.TotalJ-a.DynamicJ)
+		}
+	}
+}
+
+// TestAttributeTieOutProperty fuzzes KernelStats: whatever the counters,
+// the residual fold must land the class sum exactly on the target.
+func TestAttributeTieOutProperty(t *testing.T) {
+	f := func(ints, fp32, fp64, sfu, shared, ld, st, txns, atomics, syncs uint16, rep uint8) bool {
+		s := trace.KernelStats{
+			Warps: 1, Slots: 1, Paths: 1, LaneSlots: 32,
+			IntInsts: int64(ints), FP32Insts: int64(fp32), FP64Insts: int64(fp64),
+			SFUInsts: int64(sfu), SharedCycles: int64(shared),
+			LoadSlots: int64(ld), StoreSlots: int64(st),
+			GlobalTxns: int64(txns), GlobalBytes: int64(txns) * 128,
+			Atomics: int64(atomics), Syncs: int64(syncs),
+		}
+		l := &sim.Launch{Stats: s, Duration: 1e-3, Repeat: int(rep) + 1}
+		for _, clk := range kepler.Configs {
+			if AttributeLaunch(clk, l).Total() != DynamicLaunchEnergy(clk, l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassVecJSONRoundTrip: the named-class JSON form must round-trip and
+// reject unknown class names.
+func TestClassVecJSONRoundTrip(t *testing.T) {
+	var v ClassVec
+	for i := range v {
+		v[i] = float64(i+1) * 1.5
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"int":`, `"fp32":`, `"fp64":`, `"sfu":`, `"shared":`, `"ldst":`, `"sync":`, `"dram":`, `"atomic":`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshaled vector missing %s: %s", key, data)
+		}
+	}
+	var back ClassVec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Errorf("round trip changed the vector: %v vs %v", back, v)
+	}
+	if err := json.Unmarshal([]byte(`{"flops": 1}`), &back); err == nil {
+		t.Error("unknown class name accepted")
+	}
+}

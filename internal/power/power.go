@@ -24,33 +24,20 @@ import (
 	"repro/internal/trace"
 )
 
-// Per-event energies in joules, at the reference voltage. Warp-instruction
-// energies cover all 32 lanes.
+// Measurement-protocol timing (properties of the methodology, not of any
+// board).
 const (
-	eInt    = 1.1e-9  // integer warp instruction
-	eFP32   = 2.0e-9  // single-precision warp instruction
-	eFP64   = 4.2e-9  // double-precision warp instruction
-	eSFU    = 2.6e-9  // special-function warp instruction
-	eShared = 0.7e-9  // shared-memory cycle
-	eLDST   = 0.9e-9  // load/store issue slot (address path, TLB, L2 tag)
-	eTxn    = 15.0e-9 // 128-byte DRAM transaction (activate+transfer share)
-	eAtomic = 2.5e-9  // L2 atomic operation
-	eSync   = 0.5e-9  // barrier
-	// eDivergence is the extra frontend/replay energy per serialized
-	// divergent path beyond the first, per warp instruction of that path.
-	divergenceFactor = 0.18
-
-	// Measurement-protocol timing (properties of the methodology, not of
-	// any board).
 	tailDuration = 1.6 // seconds the driver holds the tail level
 	leadIdle     = 2.0 // seconds of idle recorded before the first kernel
 	trailIdle    = 2.5 // seconds of idle recorded after the tail
 )
 
-// The per-event energies above are quoted for the reference 28 nm Kepler
-// part at its reference voltage; a device's PowerModel supplies the voltage
-// reference, the static/idle power floors and the EnergyScale that adapts
-// the per-event energies to other process nodes and power envelopes.
+// The per-event energies live in kepler.EnergyTable on each device profile
+// (joules per warp instruction / DRAM transaction, quoted at the reference
+// voltage; warp-instruction energies cover all 32 lanes). A device's
+// PowerModel supplies the voltage reference, the static/idle power floors
+// and the EnergyScale that adapts the per-event energies to other process
+// nodes and power envelopes.
 
 // StaticActiveW returns the static power burned while the GPU is executing,
 // for the given configuration.
@@ -87,23 +74,36 @@ func LaunchEnergy(clk kepler.Clocks, l *sim.Launch) float64 {
 // launchDynamicEnergy sums the per-event energies of the launch statistics.
 func launchDynamicEnergy(clk kepler.Clocks, s *trace.KernelStats) float64 {
 	d := clk.Device()
+	t := d.Energy
 	v := clk.VoltageV / d.Power.RefVoltageV
 	v2 := v * v
 
-	core := float64(s.IntInsts)*eInt +
-		float64(s.FP32Insts)*eFP32 +
-		float64(s.FP64Insts)*eFP64 +
-		float64(s.SFUInsts)*eSFU +
-		float64(s.SharedCycles)*eShared +
-		float64(s.LoadSlots+s.StoreSlots)*eLDST +
-		float64(s.Syncs)*eSync
+	core := float64(s.IntInsts)*t.IntJ +
+		float64(s.FP32Insts)*t.FP32J +
+		float64(s.FP64Insts)*t.FP64J +
+		float64(s.SFUInsts)*t.SFUJ +
+		float64(s.SharedCycles)*t.SharedJ +
+		float64(s.LoadSlots+s.StoreSlots)*t.LDSTJ +
+		float64(s.Syncs)*t.SyncJ
 	// Serialized divergent paths keep fetch/decode and the operand
 	// collectors busy without retiring useful lanes.
-	if d := s.DivergenceRatio(); d > 1 {
-		core *= 1 + divergenceFactor*(d-1)
+	if dr := s.DivergenceRatio(); dr > 1 {
+		core *= 1 + t.DivergenceFactor*(dr-1)
 	}
 	core *= v2
 
+	txns := effectiveTxns(clk, s)
+	mem := txns*t.TxnJ + float64(s.Atomics)*t.AtomicJ
+
+	return (core + mem) * d.Power.EnergyScale
+}
+
+// effectiveTxns inflates the raw DRAM transaction count into the effective
+// count the energy model charges: row-buffer-locality inflation for
+// scattered streams, and ECC word traffic plus controller check energy
+// (expressed in transaction-equivalents) when ECC is on.
+func effectiveTxns(clk kepler.Clocks, s *trace.KernelStats) float64 {
+	d := clk.Device()
 	txns := float64(s.GlobalTxns)
 	// Scattered transactions hit closed DRAM rows: the activate/precharge
 	// energy per transaction rises steeply as row-buffer locality drops.
@@ -115,11 +115,9 @@ func launchDynamicEnergy(clk kepler.Clocks, s *trace.KernelStats) float64 {
 		// poorly (mirrors the timing model's transaction inflation), and the
 		// controller burns check/correct energy on every transaction.
 		txns *= d.ECC.EnergyFactor * (1 + d.ECC.BandwidthPenalty*(1-s.CoalescingEfficiency()))
-		txns += float64(s.GlobalTxns) * d.ECC.CheckEnergyJ / eTxn
+		txns += float64(s.GlobalTxns) * d.ECC.CheckEnergyJ / d.Energy.TxnJ
 	}
-	mem := txns*eTxn + float64(s.Atomics)*eAtomic
-
-	return (core + mem) * d.Power.EnergyScale
+	return txns
 }
 
 // LaunchPower returns the average power in watts during one execution of the

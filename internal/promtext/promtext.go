@@ -562,6 +562,40 @@ func AddLabel(families []Family, name, value string) {
 	}
 }
 
+// mergeOrigins names the sources of a Merge type conflict through the
+// "worker" label the coordinator stamps on federated expositions (AddLabel),
+// so a fleet operator sees WHICH worker disagrees instead of just the family
+// name. Empty when neither side carries worker labels (plain, non-federated
+// merges keep the terse error).
+func mergeOrigins(dst, src *Family) string {
+	a, b := familyWorkers(dst), familyWorkers(src)
+	if a == "" && b == "" {
+		return ""
+	}
+	if a == "" {
+		a = "unlabeled"
+	}
+	if b == "" {
+		b = "unlabeled"
+	}
+	return fmt.Sprintf(" (worker %s vs %s)", a, b)
+}
+
+// familyWorkers returns the distinct "worker" label values across the
+// family's samples, comma-joined in first-seen order ("" when none carry
+// the label).
+func familyWorkers(f *Family) string {
+	var names []string
+	seen := map[string]bool{}
+	for _, s := range f.Samples {
+		if v, ok := labelValue(s.Labels, "worker"); ok && !seen[v] {
+			seen[v] = true
+			names = append(names, v)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
 // Merge combines family lists from several sources into one list with a
 // single entry per family name (the exposition format forbids repeating a
 // TYPE line), concatenating samples in source order. Type and help come
@@ -584,7 +618,8 @@ func Merge(sources ...[]Family) ([]Family, error) {
 			if dst.Type == "untyped" && f.Type != "" {
 				dst.Type = f.Type
 			} else if f.Type != "" && f.Type != "untyped" && f.Type != dst.Type {
-				return nil, fmt.Errorf("family %s: type conflict %s vs %s", f.Name, dst.Type, f.Type)
+				return nil, fmt.Errorf("family %s: type conflict %s vs %s%s",
+					f.Name, dst.Type, f.Type, mergeOrigins(dst, &f))
 			}
 			if dst.Help == "" {
 				dst.Help = f.Help

@@ -207,3 +207,90 @@ func TestFormatValue(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeTypeConflictNamesWorkers: a federated type conflict must say
+// WHICH workers disagree, via the "worker" label AddLabel stamped on each
+// exposition — the bare family name is useless against a 40-worker fleet.
+func TestMergeTypeConflictNamesWorkers(t *testing.T) {
+	a, err := Parse([]byte("# TYPE jobs counter\njobs 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte("# TYPE jobs gauge\njobs 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddLabel(a, "worker", "w0")
+	AddLabel(b, "worker", "w1")
+	_, err = Merge(a, b)
+	if err == nil {
+		t.Fatal("Merge accepted a counter/gauge conflict")
+	}
+	msg := err.Error()
+	for _, want := range []string{"jobs", "counter", "gauge", "w0", "w1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("conflict error %q does not name %q", msg, want)
+		}
+	}
+
+	// Unfederated sources (no worker labels) keep the terse error.
+	c, _ := Parse([]byte("# TYPE jobs counter\njobs 1\n"))
+	d, _ := Parse([]byte("# TYPE jobs gauge\njobs 3\n"))
+	_, err = Merge(c, d)
+	if err == nil {
+		t.Fatal("Merge accepted an unlabeled conflict")
+	}
+	if strings.Contains(err.Error(), "worker") {
+		t.Errorf("unlabeled conflict error mentions workers: %q", err.Error())
+	}
+}
+
+// TestLabelValueEscapeRoundTrip pins the full escape alphabet on label
+// values — literal backslashes and embedded newlines — through a
+// write/parse/write cycle: the on-wire form uses \\ and \n, the in-memory
+// form holds the raw bytes, and nothing is lost or double-escaped.
+func TestLabelValueEscapeRoundTrip(t *testing.T) {
+	families := []Family{{
+		Name: "m", Type: "gauge",
+		Samples: []Sample{{
+			Labels: []Label{
+				{Name: "nl", Value: "line1\nline2"},
+				{Name: "bs", Value: `C:\temp\x`},
+				{Name: "both", Value: "a\\\nb"},
+			},
+			Value: "1",
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, families); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	for _, want := range []string{`nl="line1\nline2"`, `bs="C:\\temp\\x"`, `both="a\\\nb"`} {
+		if !strings.Contains(wire, want) {
+			t.Errorf("wire form missing %s:\n%s", want, wire)
+		}
+	}
+	parsed, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("re-parsing own output: %v", err)
+	}
+	got := parsed[0].Samples[0].Labels
+	want := families[0].Samples[0].Labels
+	if len(got) != len(want) {
+		t.Fatalf("label count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("label %d: %+v != %+v (escape round trip corrupted the value)", i, got[i], want[i])
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != wire {
+		t.Errorf("second write differs from first (double escaping?):\n%s\nvs\n%s", buf2.String(), wire)
+	}
+}

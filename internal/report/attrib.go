@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// classGlyphs draws each attribution class with a distinct bar character,
+// indexed by power.Class.
+var classGlyphs = [power.NumClasses]byte{'i', '3', '6', 's', 'h', 'l', 'y', 'D', 'a'}
+
+// classBar renders a fixed-width flamegraph-style bar: each class occupies
+// a width proportional to its share of the vector's total, drawn with its
+// glyph. Rounding leftovers go to the widest class so the bar is always
+// exactly width characters.
+func classBar(v power.ClassVec, width int) string {
+	total := v.Total()
+	if total <= 0 {
+		return strings.Repeat(".", width)
+	}
+	cells := make([]int, power.NumClasses)
+	used, widest := 0, 0
+	for c := range cells {
+		cells[c] = int(v[c] / total * float64(width))
+		used += cells[c]
+		if v[c] > v[widest] {
+			widest = c
+		}
+	}
+	cells[widest] += width - used
+	var b strings.Builder
+	for c, n := range cells {
+		for i := 0; i < n; i++ {
+			b.WriteByte(classGlyphs[c])
+		}
+	}
+	return b.String()
+}
+
+// classMix lists the classes above 0.05% of the vector's total as
+// "name 12.3%" fragments, in class order.
+func classMix(v power.ClassVec) string {
+	total := v.Total()
+	if total <= 0 {
+		return "no dynamic energy"
+	}
+	var parts []string
+	for c := 0; c < power.NumClasses; c++ {
+		share := v[c] / total * 100
+		if share >= 0.05 {
+			parts = append(parts, fmt.Sprintf("%s %.1f%%", power.Class(c), share))
+		}
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Attribution renders the instruction-level energy breakdowns as a
+// flamegraph-style text report: per run, a class-proportional bar and a
+// per-kernel table with each kernel's own class mix.
+func Attribution(w io.Writer, rows []core.ProgramAttribution) {
+	fmt.Fprintln(w, "Instruction-level energy attribution (dynamic energy by op class x kernel x launch)")
+	fmt.Fprintf(w, "bar glyphs: i=int 3=fp32 6=fp64 s=sfu h=shared l=ldst y=sync D=dram a=atomic\n\n")
+	for _, row := range rows {
+		a := row.Attribution
+		fmt.Fprintf(w, "%s/%s @ %s on %s: total %.6g J = dynamic %.6g J + static %.6g J\n",
+			row.Program, row.Input, a.Config, a.Device, a.TotalJ, a.DynamicJ, a.StaticJ)
+		fmt.Fprintf(w, "  [%s]\n", classBar(a.Classes, 56))
+		fmt.Fprintf(w, "  %s\n", classMix(a.Classes))
+		fmt.Fprintf(w, "  %-26s %8s %9s %12s %7s\n", "kernel", "launches", "execs", "dynamic [J]", "share")
+		for _, k := range a.Kernels {
+			share := 0.0
+			if a.DynamicJ > 0 {
+				share = k.DynamicJ / a.DynamicJ * 100
+			}
+			fmt.Fprintf(w, "  %-26s %8d %9d %12.6g %6.1f%%\n",
+				k.Kernel, k.Launches, k.Executions, k.DynamicJ, share)
+			fmt.Fprintf(w, "      %s\n", classMix(k.Classes))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// AttributionJSON writes the same breakdowns as indented JSON (the shape
+// gpuchard's /v1/attrib responds with).
+func AttributionJSON(w io.Writer, rows []core.ProgramAttribution) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// attribRequest is the POST /v1/attrib body. Attribution walks each
+// program's default input, so the request selects programs, configurations
+// and the device — the same selection shape as a sweep.
+type attribRequest struct {
+	// Programs restricts the attribution; empty means every served program.
+	Programs []string `json:"programs,omitempty"`
+	// Configs restricts the configurations; empty means all of them (on a
+	// non-K20c device: its four canonical configurations).
+	Configs []string `json:"configs,omitempty"`
+	// Device selects the GPU profile; empty means the K20c.
+	Device string `json:"device,omitempty"`
+}
+
+// attribSummary is the attribution job's result payload.
+type attribSummary struct {
+	Device string                    `json:"device"`
+	Combos int                       `json:"combos"`
+	Rows   []core.ProgramAttribution `json:"rows"`
+}
+
+// handleAttrib starts an asynchronous instruction-level energy-attribution
+// job over the selected (program, config) matrix. Attribution is a
+// post-processing pass over the launch-trace cache: on a warm store every
+// clock-insensitive combination replays instead of simulating, so the job
+// costs zero simulations beyond what the cache is missing.
+func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
+	var req attribRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	programs, dev, configs, err := s.res.sweepSet(sweepRequest{
+		Programs: req.Programs, Configs: req.Configs, Device: req.Device,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var done atomic.Int64
+	j := s.jobs.start(s.baseCtx, jobSpec{
+		combos:   len(programs) * len(configs),
+		progress: func() (int64, int64) { return done.Load(), 0 },
+		run: func(ctx context.Context, _ string) (any, error) {
+			sum := &attribSummary{Device: dev.Name}
+			for _, p := range programs {
+				for _, clk := range configs {
+					d, err := s.runner.SimulatedDevice(ctx, p, p.DefaultInput(), clk)
+					if err != nil {
+						return nil, err
+					}
+					sum.Rows = append(sum.Rows, core.ProgramAttribution{
+						Program:     p.Name(),
+						Input:       p.DefaultInput(),
+						Attribution: power.Attribute(d),
+					})
+					done.Add(1)
+				}
+			}
+			sum.Combos = len(sum.Rows)
+			return sum, nil
+		},
+	})
+	writeJSON(w, http.StatusAccepted, j.view())
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// attribJob posts an attribution request and polls it to completion,
+// returning the decoded summary from the job's result payload.
+func attribJob(t *testing.T, base, body string) attribSummary {
+	t.Helper()
+	code, resp := postJSON(t, base+"/v1/attrib", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("attrib: status %d, body %s", code, resp)
+	}
+	var jv jobView
+	if err := json.Unmarshal(resp, &jv); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := getJSON(t, base+"/v1/jobs/"+jv.ID)
+		if code != http.StatusOK {
+			t.Fatalf("job poll: status %d, body %s", code, body)
+		}
+		if err := json.Unmarshal(body, &jv); err != nil {
+			t.Fatal(err)
+		}
+		switch jv.Status {
+		case jobDone:
+			raw, err := json.Marshal(jv.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum attribSummary
+			if err := json.Unmarshal(raw, &sum); err != nil {
+				t.Fatalf("result payload: %v in %s", err, raw)
+			}
+			return sum
+		case jobFailed, jobCanceled:
+			t.Fatalf("attrib job %s: %+v", jv.ID, jv)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("attrib job stuck: %+v", jv)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAttribEndpoint: POST /v1/attrib runs the attribution matrix and the
+// job result carries one row per (program, config) with the bit-exact
+// class-sum invariant intact across the JSON boundary.
+func TestAttribEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, newFakeProg("FAKE", 2e5), newFakeProg("OTHER", 1e5))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sum := attribJob(t, ts.URL, `{"programs":["FAKE"]}`)
+	if sum.Device != "K20c" {
+		t.Errorf("device %q, want K20c default", sum.Device)
+	}
+	if sum.Combos != 4 || len(sum.Rows) != 4 {
+		t.Fatalf("combos=%d rows=%d, want 4 (one program x four configs)", sum.Combos, len(sum.Rows))
+	}
+	for _, row := range sum.Rows {
+		if row.Program != "FAKE" || row.Input != "small" {
+			t.Errorf("row %s/%s, want FAKE/small", row.Program, row.Input)
+		}
+		a := row.Attribution
+		if a == nil {
+			t.Fatal("row missing attribution")
+		}
+		if got := a.Classes.Total(); got != a.DynamicJ {
+			t.Errorf("%s: class sum %v != DynamicJ %v after JSON round trip", a.Config, got, a.DynamicJ)
+		}
+		if !(a.TotalJ > a.DynamicJ) || !(a.DynamicJ > 0) {
+			t.Errorf("%s: implausible energies total=%v dynamic=%v", a.Config, a.TotalJ, a.DynamicJ)
+		}
+	}
+
+	// Config restriction narrows the matrix.
+	sum = attribJob(t, ts.URL, `{"configs":["614"]}`)
+	if len(sum.Rows) != 2 {
+		t.Errorf("single-config attrib returned %d rows, want 2 (both programs)", len(sum.Rows))
+	}
+	for _, row := range sum.Rows {
+		if row.Attribution.Config != "614" {
+			t.Errorf("row config %q, want 614", row.Attribution.Config)
+		}
+	}
+}
+
+// TestAttribEndpointRejectsBadSelections: unknown programs, configs and
+// devices are 400s, not jobs.
+func TestAttribEndpointRejectsBadSelections(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, newFakeProg("FAKE", 2e5))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"programs":["NOPE"]}`,
+		`{"configs":["999"]}`,
+		`{"device":"RivaTNT"}`,
+		`not json`,
+	} {
+		code, resp := postJSON(t, ts.URL+"/v1/attrib", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d (%s), want 400", body, code, resp)
+		}
+	}
+}

@@ -313,6 +313,26 @@ type shardState struct {
 	redispatches int64
 }
 
+// monotoneProgress wraps a done-count source in a high-water clamp, making
+// the reported progress monotone non-decreasing even when an underlying
+// counter legitimately resets (a re-dispatched shard starts over on its new
+// worker). Safe for concurrent job-view calls.
+func monotoneProgress(f func() int64) jobProgress {
+	var mu sync.Mutex
+	var hi int64
+	return func() (int64, int64) {
+		v := f()
+		mu.Lock()
+		if v < hi {
+			v = hi
+		} else {
+			hi = v
+		}
+		mu.Unlock()
+		return v, 0
+	}
+}
+
 func (st *shardState) setWorker(w string) {
 	st.mu.Lock()
 	st.worker = w
@@ -468,13 +488,17 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		st.key = comboKey(dev.Name, first.Program, first.Input, first.Config)
 		shards = append(shards, st)
 	}
-	progress := func() (int64, int64) {
+	// The parent's progress is clamped to a high-water mark: re-dispatching
+	// a dead worker's shard resets that shard's counter to zero (the new
+	// worker genuinely restarts it), and without the clamp the parent job's
+	// done count would step backward mid-run.
+	progress := monotoneProgress(func() int64 {
 		done := preResolved
 		for _, st := range shards {
 			done += st.progress(c)
 		}
-		return done, 0
-	}
+		return done
+	})
 	decorate := func(v *jobView) {
 		views := make([]shardView, 0, len(shards))
 		for _, st := range shards {

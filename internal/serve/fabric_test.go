@@ -433,3 +433,151 @@ func TestFabricReadyzAndFederation(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestFabricProgressMonotoneAcrossRedispatch kills the worker executing a
+// shard after that shard has reported forward progress, and asserts the
+// parent job's done count never steps backward: re-dispatching resets the
+// shard's own counter to zero (the replacement worker genuinely restarts
+// it), and the parent used to sum that reset straight into its progress.
+func TestFabricProgressMonotoneAcrossRedispatch(t *testing.T) {
+	// Slow enough that a shard is observably mid-run (the coordinator polls
+	// shard progress at 200ms granularity) for several poll cycles.
+	crawl := func() []core.Program {
+		p := newFakeProg("SLOW", 2e5)
+		p.sleepPerBlock = 150 * time.Millisecond
+		return []core.Program{p}
+	}
+	body := `{"programs":["SLOW"],"allInputs":true}`
+	ws, urls := newFabricWorkers(t, 3, crawl)
+	c, cts := newTestCoordinator(t, urls, crawl(), nil)
+
+	code, data := postJSON(t, cts.URL+"/v1/sweep", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep: status %d, body %s", code, data)
+	}
+	var jv jobView
+	if err := json.Unmarshal(data, &jv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until some running shard has completed at least one combination,
+	// so its post-redispatch reset would be visible as a regression (the
+	// deterministic repro of the unclamped sum lives in
+	// TestShardRedispatchResetClampedByParent; this test exercises the
+	// whole fabric path).
+	var victim shardView
+	deadline := time.Now().Add(60 * time.Second)
+	for victim.Worker == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("no shard reported mid-run progress before the deadline")
+		}
+		code, data := getJSON(t, cts.URL+"/v1/jobs/"+jv.ID)
+		if code != http.StatusOK {
+			t.Fatalf("job poll: status %d, body %s", code, data)
+		}
+		var v jobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range v.Shards {
+			if sh.Status == jobRunning && sh.Worker != "" && sh.Done > 0 && sh.Done < sh.Combinations {
+				victim = sh
+				break
+			}
+		}
+		if v.Status != jobQueued && v.Status != jobRunning {
+			t.Fatalf("job terminal before any shard progressed: %+v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, w := range ws {
+		if w.ts.URL == victim.Worker {
+			w.ts.CloseClientConnections()
+			w.ts.Close()
+		}
+	}
+
+	// Poll to completion, asserting the parent's done count is monotone
+	// non-decreasing through the kill and re-dispatch.
+	var hi int64
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		code, data := getJSON(t, cts.URL+"/v1/jobs/"+jv.ID)
+		if code != http.StatusOK {
+			t.Fatalf("job poll: status %d, body %s", code, data)
+		}
+		var v jobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Done < hi {
+			t.Fatalf("parent progress stepped backward: %d after %d (shards: %+v)", v.Done, hi, v.Shards)
+		}
+		hi = v.Done
+		if v.Status == jobDone {
+			break
+		}
+		if v.Status == jobFailed || v.Status == jobCanceled {
+			t.Fatalf("job %s: %+v", jv.ID, v)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c.runner.Metrics().Snapshot().Counters["fabric_shard_redispatches"] == 0 {
+		t.Error("worker death did not force a re-dispatch; the regression scenario was not exercised")
+	}
+}
+
+// TestMonotoneProgressClamp pins the high-water behavior of the parent
+// progress wrapper in isolation.
+func TestMonotoneProgressClamp(t *testing.T) {
+	vals := []int64{0, 3, 5, 2, 4, 7, 1, 7}
+	want := []int64{0, 3, 5, 5, 5, 7, 7, 7}
+	i := 0
+	p := monotoneProgress(func() int64 { v := vals[i]; i++; return v })
+	for k := range vals {
+		got, canc := p()
+		if got != want[k] || canc != 0 {
+			t.Errorf("call %d: got (%d, %d), want (%d, 0)", k, got, canc, want[k])
+		}
+	}
+}
+
+// TestShardRedispatchResetClampedByParent is the deterministic repro of the
+// backward-progress bug: a shard that reported partial progress is
+// re-dispatched (setWorker resets its counter to zero), and the clamped
+// parent sum must hold its high-water mark instead of stepping back.
+func TestShardRedispatchResetClampedByParent(t *testing.T) {
+	c := &Coordinator{probeClient: &http.Client{Timeout: 50 * time.Millisecond}}
+	mid := &shardState{combos: make([]shardCombo, 4), status: jobRunning, lastDone: 3, lastPoll: time.Now()}
+	done := &shardState{combos: make([]shardCombo, 2), status: jobDone}
+	shards := []*shardState{mid, done}
+	progress := monotoneProgress(func() int64 {
+		var sum int64
+		for _, st := range shards {
+			sum += st.progress(c)
+		}
+		return sum
+	})
+
+	if got, _ := progress(); got != 5 {
+		t.Fatalf("pre-redispatch progress = %d, want 5", got)
+	}
+	// The worker dies; the shard is re-dispatched to a replacement that is
+	// not answering yet — exactly the moment the raw sum used to drop to 2.
+	mid.bumpRedispatch()
+	mid.setWorker("http://127.0.0.1:1") // nothing listening: poll fails, done stays 0
+	if got, _ := progress(); got != 5 {
+		t.Errorf("post-redispatch progress = %d, want the clamped 5", got)
+	}
+	// The replacement's restarted counts eventually pass the mark and the
+	// parent moves forward again.
+	mid.mu.Lock()
+	mid.lastDone, mid.lastPoll = 4, time.Now()
+	mid.mu.Unlock()
+	if got, _ := progress(); got != 6 {
+		t.Errorf("recovered progress = %d, want 6", got)
+	}
+}

@@ -136,7 +136,7 @@ func newServiceMetrics(reg *obs.Registry, routes []string) serviceMetrics {
 }
 
 // routes lists the worker's instrumented endpoint names.
-var routes = []string{"measure", "sweep", "frontier", "shard", "jobs", "results", "metrics", "healthz", "readyz"}
+var routes = []string{"measure", "sweep", "frontier", "attrib", "shard", "jobs", "results", "metrics", "healthz", "readyz"}
 
 // New builds the service and, when cfg.StorePath names an existing store,
 // warm-starts the runner cache from it. A missing store file is a cold
@@ -171,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("POST /v1/measure", s.m.instrument("measure", s.handleMeasure))
 	mux.Handle("POST /v1/sweep", s.m.instrument("sweep", s.handleSweep))
 	mux.Handle("POST /v1/frontier", s.m.instrument("frontier", s.handleFrontier))
+	mux.Handle("POST /v1/attrib", s.m.instrument("attrib", s.handleAttrib))
 	mux.Handle("POST /v1/shard", s.m.instrument("shard", s.handleShard))
 	mux.Handle("GET /v1/jobs/{id...}", s.m.instrument("jobs", s.handleJob))
 	mux.Handle("DELETE /v1/jobs/{id...}", s.m.instrument("jobs", s.handleJobCancel))

@@ -14,13 +14,21 @@ func Median(vals []float64) float64 {
 }
 
 // Quantile returns the q-quantile (0..1) of vals using linear interpolation
-// between order statistics. It returns NaN for an empty slice.
+// between order statistics. It returns NaN for an empty slice, or when any
+// value is NaN: NaNs sort to the front of the order statistics, so without
+// the guard a poisoned sample would silently shift every quantile instead of
+// poisoning the summary the way Spread does.
 func Quantile(vals []float64, q float64) float64 {
 	if len(vals) == 0 {
 		return math.NaN()
 	}
 	s := make([]float64, len(vals))
 	copy(s, vals)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
+	}
 	sort.Float64s(s)
 	if q <= 0 {
 		return s[0]

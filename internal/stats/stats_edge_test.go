@@ -28,10 +28,10 @@ func TestMedianEdgeCases(t *testing.T) {
 		{"even", []float64{4, 1, 3, 2}, 2.5},
 		{"even negative", []float64{-4, -1, -3, -2}, -2.5},
 		{"duplicates", []float64{5, 5, 5, 5}, 5},
-		// sort.Float64s orders NaN before every other value, so an odd
-		// slice with one NaN has a well-defined numeric median...
-		{"odd with NaN", []float64{nan, 1, 2}, 1},
-		// ...while interpolating against a NaN order statistic poisons it.
+		// A NaN sample poisons the median regardless of position: it used
+		// to sort to the front and silently shift the order statistics
+		// (Median([NaN 1 2]) read as 1), diverging from Spread's poisoning.
+		{"odd with NaN", []float64{nan, 1, 2}, nan},
 		{"even with NaN", []float64{1, nan}, nan},
 		{"all NaN", []float64{nan, nan}, nan},
 	}

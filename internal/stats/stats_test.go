@@ -111,3 +111,38 @@ func TestPropertyMedianWithinRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestQuantileNaNPropagation is the regression test for the silent-NaN bug:
+// NaNs sort to the front of the order statistics, so a poisoned measurement
+// used to shift every quantile (a NaN in three samples made the "median" the
+// larger real value) instead of poisoning the summary like Spread does.
+func TestQuantileNaNPropagation(t *testing.T) {
+	nan := math.NaN()
+	cases := [][]float64{
+		{nan},
+		{nan, 1, 2},
+		{1, nan, 2},
+		{1, 2, nan},
+		{nan, nan, nan},
+	}
+	for _, vals := range cases {
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if got := Quantile(vals, q); !math.IsNaN(got) {
+				t.Errorf("Quantile(%v, %g) = %g, want NaN", vals, q, got)
+			}
+		}
+		if got := Median(vals); !math.IsNaN(got) {
+			t.Errorf("Median(%v) = %g, want NaN", vals, got)
+		}
+		b := BoxOf(vals)
+		for name, v := range map[string]float64{"Min": b.Min, "Q1": b.Q1, "Median": b.Median, "Q3": b.Q3, "Max": b.Max} {
+			if !math.IsNaN(v) {
+				t.Errorf("BoxOf(%v).%s = %g, want NaN", vals, name, v)
+			}
+		}
+	}
+	// And the clean path is unaffected.
+	if got := Quantile([]float64{3, 1, 2}, 0.5); got != 2 {
+		t.Errorf("Quantile without NaN = %g, want 2", got)
+	}
+}

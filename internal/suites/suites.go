@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lonestar"
+	"repro/internal/microbench"
 	"repro/internal/parboil"
 	"repro/internal/rodinia"
 	"repro/internal/sdk"
@@ -46,6 +47,15 @@ func TooShort() []core.Program {
 	}
 }
 
+// Microbench returns the energy-calibration microbenchmarks (MB-PCHASE,
+// MB-STRIDE, MB-FMA). They are registered programs — addressable by name
+// from gpuchar -programs and every gpuchard endpoint — but deliberately NOT
+// part of All(): the 34-program battery, its sweep matrix and the golden
+// corpus are untouched by their existence.
+func Microbench() []core.Program {
+	return microbench.Programs()
+}
+
 // registry is the lazily built name index over every constructible program
 // (studied set, variants and too-short programs). Programs are reentrant by
 // contract (core.Program), so handing out one shared instance per name is
@@ -75,6 +85,7 @@ func buildRegistry() {
 	add(All())
 	add(Variants())
 	add(TooShort())
+	add(Microbench())
 	sort.Strings(registry.names)
 }
 

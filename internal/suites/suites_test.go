@@ -48,14 +48,15 @@ func TestByName(t *testing.T) {
 }
 
 // TestRegistryNamesUnique is the duplicate-name guard: every constructible
-// program (studied set, variants, too-short) must register under a unique
-// name, or ByName would silently shadow one program with another.
+// program (studied set, variants, too-short, calibration microbenchmarks)
+// must register under a unique name, or ByName would silently shadow one
+// program with another.
 func TestRegistryNamesUnique(t *testing.T) {
 	names, err := Names()
 	if err != nil {
 		t.Fatalf("registry reports a duplicate: %v", err)
 	}
-	wantLen := len(All()) + len(Variants()) + len(TooShort())
+	wantLen := len(All()) + len(Variants()) + len(TooShort()) + len(Microbench())
 	if len(names) != wantLen {
 		t.Fatalf("registry has %d names, want %d (a collision dropped one)", len(names), wantLen)
 	}

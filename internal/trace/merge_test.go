@@ -285,3 +285,68 @@ func TestKindString(t *testing.T) {
 		t.Error("kind names wrong")
 	}
 }
+
+// TestCoalescingAccountingViolation constructs the impossible case — more
+// useful bytes than the transactions could have fetched — and pins both
+// behaviors: the production clamp keeps the ratio at 1, and the debug-mode
+// accounting check turns the same state into a panic at the point of use
+// plus an explicit CheckAccounting error.
+func TestCoalescingAccountingViolation(t *testing.T) {
+	s := KernelStats{
+		Warps: 1, Slots: 1, Paths: 1, LaneSlots: 32,
+		LoadSlots: 1, GlobalTxns: 1, GlobalBytes: 256, // 256 useful > 128 fetched
+	}
+	if eff := s.CoalescingEfficiency(); eff != 1 {
+		t.Errorf("production clamp: efficiency = %g, want 1", eff)
+	}
+	if err := s.CheckAccounting(); err == nil {
+		t.Error("CheckAccounting accepted useful bytes exceeding fetched bytes")
+	}
+
+	AccountingChecks = true
+	defer func() { AccountingChecks = false }()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("debug mode did not panic on useful bytes exceeding fetched bytes")
+			}
+		}()
+		s.CoalescingEfficiency()
+	}()
+
+	// A consistent stats block passes both paths under debug mode.
+	ok := KernelStats{
+		Warps: 1, Slots: 2, Paths: 2, LaneSlots: 64,
+		LoadSlots: 1, StoreSlots: 1, GlobalTxns: 2, GlobalBytes: 256,
+	}
+	if err := ok.CheckAccounting(); err != nil {
+		t.Errorf("consistent stats rejected: %v", err)
+	}
+	if eff := ok.CoalescingEfficiency(); eff != 1 {
+		t.Errorf("consistent efficiency = %g, want 1", eff)
+	}
+}
+
+// TestCheckAccountingCatalog walks the individually impossible counter
+// combinations.
+func TestCheckAccountingCatalog(t *testing.T) {
+	cases := []struct {
+		name string
+		s    KernelStats
+	}{
+		{"bytes exceed fetch", KernelStats{Slots: 1, Paths: 1, LoadSlots: 1, GlobalTxns: 1, GlobalBytes: 129}},
+		{"txns without slots", KernelStats{Slots: 1, Paths: 1, GlobalTxns: 3}},
+		{"paths below slots", KernelStats{Slots: 4, Paths: 2}},
+		{"lane-slots overflow", KernelStats{Slots: 1, Paths: 1, LaneSlots: 33}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.s.CheckAccounting(); err == nil {
+				t.Errorf("%+v accepted", c.s)
+			}
+		})
+	}
+	if err := new(KernelStats).CheckAccounting(); err != nil {
+		t.Errorf("zero stats rejected: %v", err)
+	}
+}

@@ -28,6 +28,25 @@ while IFS= read -r hit; do
     esac
 done < <(grep -rnE "kepler\.($removed)\b" --include='*.go' cmd/ internal/ examples/ *.go 2>/dev/null || true)
 
+# The energy-attribution PR did the same to the per-opcode energy constants
+# (power's package-level eInt/eFP32/.../eTxn values and the divergence
+# surcharge): they live on kepler.Device.Energy now, one EnergyTable per
+# JSON profile. A literal like `2.0e-9` reappearing as a named e<Class>
+# constant outside internal/kepler would re-fork the energy model away from
+# the profiles — and silently break the attribution tie-out's "same table
+# entry" premise.
+energy='eInt|eFP32|eFP64|eSFU|eShared|eLDST|eTxn|eAtomic|eSync|divergenceFactor'
+
+while IFS= read -r hit; do
+    case "${hit%%:*}" in
+    internal/kepler/*) ;;
+    *)
+        echo "lint_device: hard-wired per-opcode energy constant outside the device package: $hit" >&2
+        fail=1
+        ;;
+    esac
+done < <(grep -rnE "^\s*(${energy})\s*=\s*[0-9]" --include='*.go' cmd/ internal/ examples/ *.go 2>/dev/null || true)
+
 if [ "$fail" -ne 0 ]; then
     echo "lint_device: FAILED — hardware numbers live on kepler.Device (internal/kepler/devices/*.json); take them from the Clocks' Device()" >&2
     exit 1
